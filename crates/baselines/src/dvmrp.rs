@@ -1,0 +1,291 @@
+//! DVMRP / PIM-DM broadcast-and-prune as a `netsim` agent.
+//!
+//! The first packet of each (S,G) floods everywhere (reverse-path
+//! broadcast); routers with no interested parties prune back, and prune
+//! state — held per (S,G) per interface, with a lifetime — suppresses
+//! further flooding until it expires or a graft cancels it. This is the
+//! "non-scalable broadcast-and-prune behavior" the paper's conclusion says
+//! EXPRESS eliminates: the experiments measure the off-tree traffic and the
+//! prune state parked in routers with zero subscribers.
+
+use crate::igmp::MembershipDb;
+use crate::util;
+use express_wire::addr::Ipv4Addr;
+use express_wire::dvmrp::DvmrpMessage;
+use express_wire::ipv4::{self, Ipv4Repr, Protocol};
+use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::id::IfaceId;
+use netsim::stats::TrafficClass;
+use netsim::time::{SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Counters for experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DvmrpCounters {
+    /// Data packets flooded/forwarded.
+    pub data_forwarded: u64,
+    /// Prunes sent upstream.
+    pub prunes_tx: u64,
+    /// Grafts sent upstream.
+    pub grafts_tx: u64,
+    /// Data packets dropped by the RPF check (broadcast duplicates).
+    pub rpf_drops: u64,
+}
+
+/// The DVMRP router agent.
+pub struct DvmrpRouter {
+    members: MembershipDb,
+    /// Prunes received from downstream: (S, G, iface) → expiry.
+    pruned_downstream: HashMap<(Ipv4Addr, Ipv4Addr, IfaceId), SimTime>,
+    /// Prunes we sent upstream: (S, G) → expiry (graft cancels).
+    pruned_upstream: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
+    prune_lifetime: SimDuration,
+    /// Experiment counters.
+    pub counters: DvmrpCounters,
+}
+
+impl DvmrpRouter {
+    /// A DVMRP router with the standard two-hour prune lifetime.
+    pub fn new() -> Self {
+        Self::with_prune_lifetime(SimDuration::from_secs(7200))
+    }
+
+    /// A DVMRP router with a custom prune lifetime.
+    pub fn with_prune_lifetime(prune_lifetime: SimDuration) -> Self {
+        DvmrpRouter {
+            members: MembershipDb::new(),
+            pruned_downstream: HashMap::new(),
+            pruned_upstream: HashMap::new(),
+            prune_lifetime,
+            counters: DvmrpCounters::default(),
+        }
+    }
+
+    /// Live prune-state records — the per-(S,G)-per-interface cost
+    /// broadcast-and-prune pays even with zero local interest.
+    pub fn prune_state_entries(&self) -> usize {
+        self.pruned_downstream.len() + self.pruned_upstream.len()
+    }
+
+    fn router_ifaces(&self, ctx: &Ctx<'_>) -> Vec<IfaceId> {
+        let mut v = Vec::new();
+        for i in 0..ctx.iface_count() {
+            let iface = IfaceId(i as u8);
+            if ctx
+                .neighbors_on(iface)
+                .iter()
+                .any(|&(n, _)| ctx.topology().kind(n) == netsim::NodeKind::Router)
+            {
+                v.push(iface);
+            }
+        }
+        v
+    }
+
+    /// Drop prune records past their lifetime so stale state neither
+    /// suppresses flooding nor inflates [`prune_state_entries`].
+    fn purge_expired(&mut self, now: SimTime) {
+        self.pruned_downstream.retain(|_, exp| *exp > now);
+        self.pruned_upstream.retain(|_, exp| *exp > now);
+    }
+
+    fn handle_data(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], header: Ipv4Repr) {
+        let now = ctx.now();
+        self.purge_expired(now);
+        let (s, g) = (header.src, header.dst);
+        // RPF check: accept only on the interface toward the source
+        // (or directly from an attached source host).
+        let rpf_iface = ctx.rpf(s).map(|h| h.iface);
+        let src_is_local = ctx
+            .neighbors_on(iface)
+            .iter()
+            .any(|&(n, _)| ctx.topology().ip(n) == s && ctx.topology().kind(n) == netsim::NodeKind::Host);
+        if rpf_iface != Some(iface) && !src_is_local {
+            self.counters.rpf_drops += 1;
+            ctx.count("dvmrp.rpf_drop", 1);
+            return;
+        }
+        if header.ttl <= 1 {
+            return;
+        }
+        // Flood: all router interfaces except arrival and pruned ones, plus
+        // member interfaces.
+        let mut oifs: Vec<IfaceId> = self
+            .router_ifaces(ctx)
+            .into_iter()
+            .filter(|&i| i != iface)
+            .filter(|&i| {
+                self.pruned_downstream
+                    .get(&(s, g, i))
+                    .map(|exp| *exp <= now) // expired prune floods again
+                    .unwrap_or(true)
+            })
+            .collect();
+        for mi in self.members.member_ifaces(g) {
+            if mi != iface && !oifs.contains(&mi) {
+                oifs.push(mi);
+            }
+        }
+        oifs.sort();
+        oifs.dedup();
+        if !oifs.is_empty() {
+            let out = util::patch_ttl(bytes, header.ttl - 1);
+            for &i in &oifs {
+                ctx.send(i, &out, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
+            }
+            self.counters.data_forwarded += 1;
+            ctx.count("dvmrp.data_fwd", 1);
+        }
+        // No interested parties below us and none locally ⇒ prune upstream.
+        if oifs.is_empty() && self.members.member_ifaces(g).is_empty() && !src_is_local {
+            self.send_prune(ctx, s, g);
+        }
+    }
+
+    fn send_prune(&mut self, ctx: &mut Ctx<'_>, s: Ipv4Addr, g: Ipv4Addr) {
+        let now = ctx.now();
+        if self
+            .pruned_upstream
+            .get(&(s, g))
+            .map(|exp| *exp > now)
+            .unwrap_or(false)
+        {
+            return; // already pruned
+        }
+        let Some(hop) = ctx.rpf(s) else { return };
+        let up = ctx.ip_of(hop.next);
+        let lifetime = self.prune_lifetime;
+        self.pruned_upstream.insert((s, g), now + lifetime);
+        let msg = DvmrpMessage::Prune {
+            source: s,
+            group: g,
+            lifetime_secs: lifetime.millis().div_ceil(1000) as u32,
+        };
+        util::send_control_to(ctx, hop.iface, up, Protocol::Other(200) /* DVMRP */, &msg.to_vec());
+        self.counters.prunes_tx += 1;
+        ctx.count("dvmrp.prune_tx", 1);
+    }
+
+    fn send_graft(&mut self, ctx: &mut Ctx<'_>, s: Ipv4Addr, g: Ipv4Addr) {
+        if self.pruned_upstream.remove(&(s, g)).is_none() {
+            return;
+        }
+        let Some(hop) = ctx.rpf(s) else { return };
+        let up = ctx.ip_of(hop.next);
+        let msg = DvmrpMessage::Graft { source: s, group: g };
+        util::send_control_to(ctx, hop.iface, up, Protocol::Other(200), &msg.to_vec());
+        self.counters.grafts_tx += 1;
+        ctx.count("dvmrp.graft_tx", 1);
+    }
+
+    fn handle_dvmrp(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, from: Ipv4Addr, msg: DvmrpMessage) {
+        let now = ctx.now();
+        match msg {
+            DvmrpMessage::Prune {
+                source,
+                group,
+                lifetime_secs,
+            } => {
+                self.pruned_downstream.insert(
+                    (source, group, iface),
+                    now + SimDuration::from_secs(u64::from(lifetime_secs)),
+                );
+                // If everything below us is now pruned and we have no
+                // members, propagate the prune upstream.
+                let all_pruned = self
+                    .router_ifaces(ctx)
+                    .into_iter()
+                    .filter(|&i| Some(i) != ctx.rpf(source).map(|h| h.iface))
+                    .all(|i| {
+                        self.pruned_downstream
+                            .get(&(source, group, i))
+                            .map(|exp| *exp > now)
+                            .unwrap_or(false)
+                    });
+                if all_pruned && self.members.member_ifaces(group).is_empty() {
+                    self.send_prune(ctx, source, group);
+                }
+            }
+            DvmrpMessage::Graft { source, group } => {
+                self.pruned_downstream.remove(&(source, group, iface));
+                let msg = DvmrpMessage::GraftAck { source, group };
+                util::send_control_to(ctx, iface, from, Protocol::Other(200), &msg.to_vec());
+                // Cancel our own upstream prune so traffic resumes.
+                self.send_graft(ctx, source, group);
+            }
+            DvmrpMessage::GraftAck { .. } | DvmrpMessage::Probe { .. } => {}
+        }
+    }
+}
+
+impl Default for DvmrpRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Agent for DvmrpRouter {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], class: TrafficClass) {
+        let me = ctx.my_ip();
+        let Ok(header) = Ipv4Repr::parse(bytes) else { return };
+        let payload = &bytes[ipv4::HEADER_LEN..ipv4::HEADER_LEN + header.payload_len];
+        match header.protocol {
+            Protocol::Igmp => {
+                let changed = self.members.update(iface, payload, ctx.now());
+                for g in changed {
+                    if self.members.any_members(g) {
+                        // New member: graft every pruned source of the group.
+                        let sources: Vec<Ipv4Addr> = self
+                            .pruned_upstream
+                            .keys()
+                            .filter(|(_, pg)| *pg == g)
+                            .map(|(s, _)| *s)
+                            .collect();
+                        for s in sources {
+                            self.send_graft(ctx, s, g);
+                        }
+                    }
+                }
+            }
+            Protocol::Other(200) if header.dst == me => {
+                if let Ok(msg) = DvmrpMessage::parse(payload) {
+                    self.handle_dvmrp(ctx, iface, header.src, msg);
+                }
+            }
+            _ if header.dst.is_multicast() => self.handle_data(ctx, iface, bytes, header),
+            _ if header.dst != me => {
+                let _ = util::forward_unicast(ctx, bytes, header, class);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_state_counting() {
+        let mut r = DvmrpRouter::new();
+        assert_eq!(r.prune_state_entries(), 0);
+        r.pruned_downstream.insert(
+            (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(224, 1, 1, 1), IfaceId(0)),
+            SimTime(100),
+        );
+        r.pruned_upstream
+            .insert((Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(224, 1, 1, 1)), SimTime(100));
+        assert_eq!(r.prune_state_entries(), 2);
+    }
+
+    #[test]
+    fn custom_prune_lifetime() {
+        let r = DvmrpRouter::with_prune_lifetime(SimDuration::from_secs(10));
+        assert_eq!(r.prune_lifetime, SimDuration::from_secs(10));
+    }
+}

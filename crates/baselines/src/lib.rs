@@ -1,0 +1,33 @@
+//! # mcast-baselines
+//!
+//! The multicast protocols the EXPRESS paper compares against, implemented
+//! as `netsim` agents over the same wire formats and topology substrate:
+//!
+//! | module | protocol | paper's framing |
+//! |---|---|---|
+//! | [`igmp`] | IGMPv2 / IGMPv3 group hosts | §2.2.2, §7.1: group-only joins with suppression (v2) vs INCLUDE/EXCLUDE source lists (v3) |
+//! | [`pim`] | PIM-SM | §3.6, §4.4: rendezvous points, shared-tree detours, shared→source-tree transitions |
+//! | [`cbt`] | Core Based Trees | §4.4: bidirectional shared tree through the core |
+//! | [`dvmrp`] | DVMRP / PIM-DM | §3.4, §8: broadcast-and-prune — flooding where there is no interest, prune state everywhere |
+//! | [`unicast`] | unicast fan-out | §1: a source reaching k sites "simulates multicast with unicast and thus pays for k·R bandwidth" |
+//!
+//! The implementations are deliberately faithful to the *behaviours the
+//! paper's arguments rest on* — who carries traffic, where state lives, how
+//! joins travel, where packets detour — rather than to every timer value in
+//! the RFCs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cbt;
+pub mod dvmrp;
+pub mod igmp;
+pub mod pim;
+pub mod unicast;
+pub(crate) mod util;
+
+pub use cbt::CbtRouter;
+pub use dvmrp::DvmrpRouter;
+pub use igmp::{GroupHost, GroupHostAction, IgmpQuerier, IgmpVersion};
+pub use pim::{PimConfig, PimRouter};
+pub use unicast::UnicastSource;

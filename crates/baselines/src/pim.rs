@@ -1,0 +1,531 @@
+//! PIM-SM (RFC 2117, the paper's reference \[9\]) as a `netsim` agent.
+//!
+//! The behaviours the paper's comparisons rest on are implemented
+//! faithfully:
+//!
+//! * **Rendezvous points**: a (*,G) shared tree rooted at a
+//!   network-configured RP; joins travel hop-by-hop toward the RP.
+//! * **Register encapsulation**: the source's DR tunnels data to the RP,
+//!   which forwards it down the shared tree — the "detour via the
+//!   rendezvous point" of §3.6 that EXPRESS never takes.
+//! * **RP (S,G) join + RegisterStop**: the RP joins the source tree and
+//!   stops the tunnel once native data arrives.
+//! * **SPT switchover**: a last-hop router seeing shared-tree data may join
+//!   (S,G) toward the source and prune (S,G,rpt) off the shared tree —
+//!   "the higher delay of a shared multicast tree ... \[vs\] the extra state
+//!   cost of source-specific trees" (§4.4), with the policy owned by the
+//!   *network*, not the application.
+//! * **Soft state**: join state expires unless periodically refreshed —
+//!   contrast ECMP's TCP mode where "a periodic refresh of each long-lived
+//!   channel is unnecessary" (§3.2).
+//!
+//! Simplification: one RP serves all groups (the RP-set hash of the RFC is
+//! group-management machinery orthogonal to the measured behaviours).
+
+use crate::igmp::MembershipDb;
+use crate::util;
+use express_wire::addr::Ipv4Addr;
+use express_wire::ipv4::{self, Ipv4Repr, Protocol};
+use express_wire::pim::{GroupBlock, PimMessage, SourceEntry};
+use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::id::IfaceId;
+use netsim::stats::TrafficClass;
+use netsim::time::{SimDuration, SimTime};
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+/// PIM-SM configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PimConfig {
+    /// The rendezvous point for every group.
+    pub rp: Ipv4Addr,
+    /// Data packets a last-hop router accepts on the shared tree before
+    /// switching to the source tree; `None` never switches (pure shared
+    /// tree, CBT-like delay), `Some(0)` switches on the first packet.
+    pub spt_threshold: Option<u64>,
+    /// Period of the soft-state join refresh.
+    pub join_refresh: SimDuration,
+    /// Join state lifetime without refresh.
+    pub holdtime: SimDuration,
+}
+
+impl PimConfig {
+    /// Defaults with the given RP: switch to SPT on first packet (the
+    /// common deployment), 60 s refresh, 210 s holdtime.
+    pub fn new(rp: Ipv4Addr) -> Self {
+        PimConfig {
+            rp,
+            spt_threshold: Some(0),
+            join_refresh: SimDuration::from_secs(60),
+            holdtime: SimDuration::from_secs(210),
+        }
+    }
+}
+
+/// Forwarding/state entry for (*,G) or (S,G).
+#[derive(Debug, Clone, Default)]
+struct TreeEntry {
+    /// Interfaces joined by downstream PIM neighbors, with expiry.
+    joined_ifaces: HashMap<IfaceId, SimTime>,
+    /// Did we send a join upstream?
+    joined_upstream: bool,
+}
+
+impl TreeEntry {
+    fn live_ifaces(&self, now: SimTime) -> Vec<IfaceId> {
+        let mut v: Vec<IfaceId> = self
+            .joined_ifaces
+            .iter()
+            .filter(|(_, exp)| **exp > now)
+            .map(|(i, _)| *i)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// Per-(S,G) auxiliary state.
+#[derive(Debug, Clone, Default)]
+struct SgMeta {
+    /// Shared-tree packets seen (SPT-switch trigger at last hops).
+    shared_packets: u64,
+    /// We switched this source to its own tree.
+    on_spt: bool,
+    /// RP only: native (S,G) data has arrived (send RegisterStop).
+    native_seen: bool,
+    /// DR only: RP told us to stop registering.
+    register_stopped: bool,
+}
+
+/// Counters for experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PimCounters {
+    /// Join/Prune messages sent.
+    pub join_prunes_tx: u64,
+    /// Register (encapsulated) packets sent toward the RP.
+    pub registers_tx: u64,
+    /// RegisterStops sent (RP role).
+    pub register_stops_tx: u64,
+    /// Data packets forwarded natively.
+    pub data_forwarded: u64,
+    /// SPT switchovers performed at this router.
+    pub spt_switches: u64,
+}
+
+const TIMER_REFRESH: u64 = 1;
+
+/// The PIM-SM router agent.
+pub struct PimRouter {
+    cfg: PimConfig,
+    members: MembershipDb,
+    star_g: HashMap<Ipv4Addr, TreeEntry>,
+    sg: HashMap<(Ipv4Addr, Ipv4Addr), TreeEntry>,
+    sg_meta: HashMap<(Ipv4Addr, Ipv4Addr), SgMeta>,
+    /// (iface, S, G) pruned off the shared tree (S,G,rpt).
+    rpt_pruned: HashSet<(IfaceId, Ipv4Addr, Ipv4Addr)>,
+    /// Experiment counters.
+    pub counters: PimCounters,
+}
+
+impl PimRouter {
+    /// A PIM-SM router.
+    pub fn new(cfg: PimConfig) -> Self {
+        PimRouter {
+            cfg,
+            members: MembershipDb::new(),
+            star_g: HashMap::new(),
+            sg: HashMap::new(),
+            sg_meta: HashMap::new(),
+            rpt_pruned: HashSet::new(),
+            counters: PimCounters::default(),
+        }
+    }
+
+    /// Multicast routing state entries ((*,G) + (S,G)) — the state-cost
+    /// comparison metric of §4.4/§5.
+    pub fn state_entries(&self) -> usize {
+        self.star_g.len() + self.sg.len()
+    }
+
+    fn am_rp(&self, ctx: &Ctx<'_>) -> bool {
+        ctx.my_ip() == self.cfg.rp
+    }
+
+    fn send_join_prune(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        iface: IfaceId,
+        upstream: Ipv4Addr,
+        group: Ipv4Addr,
+        joins: Vec<SourceEntry>,
+        prunes: Vec<SourceEntry>,
+    ) {
+        let msg = PimMessage::JoinPrune {
+            upstream,
+            holdtime_secs: self.cfg.holdtime.millis().div_ceil(1000) as u16,
+            groups: vec![GroupBlock { group, joins, prunes }],
+        };
+        util::send_control_to(ctx, iface, upstream, Protocol::Pim, &msg.to_vec());
+        self.counters.join_prunes_tx += 1;
+        ctx.count("pim.join_prune_tx", 1);
+    }
+
+    /// (Re-)send the (*,G) join toward the RP if we need the shared tree.
+    fn join_shared_tree(&mut self, ctx: &mut Ctx<'_>, group: Ipv4Addr) {
+        if self.am_rp(ctx) {
+            return;
+        }
+        let Some(hop) = ctx.next_hop_ip(self.cfg.rp) else { return };
+        let up = ctx.ip_of(hop.next);
+        self.star_g.entry(group).or_default().joined_upstream = true;
+        let rp = self.cfg.rp;
+        self.send_join_prune(ctx, hop.iface, up, group, vec![SourceEntry::wildcard_rpt(rp)], vec![]);
+    }
+
+    /// (Re-)send the (S,G) join toward the source.
+    fn join_source_tree(&mut self, ctx: &mut Ctx<'_>, source: Ipv4Addr, group: Ipv4Addr) {
+        let Some(hop) = ctx.rpf(source) else { return };
+        let up = ctx.ip_of(hop.next);
+        self.sg.entry((source, group)).or_default().joined_upstream = true;
+        self.send_join_prune(ctx, hop.iface, up, group, vec![SourceEntry::source(source)], vec![]);
+    }
+
+    /// Prune ourselves off the shared tree when neither local members nor
+    /// downstream joins remain.
+    fn prune_shared_tree_if_idle(&mut self, ctx: &mut Ctx<'_>, group: Ipv4Addr) {
+        let now = ctx.now();
+        let idle = self
+            .star_g
+            .get(&group)
+            .map(|e| e.live_ifaces(now).is_empty())
+            .unwrap_or(true)
+            && self.members.member_ifaces(group).is_empty();
+        let joined = self.star_g.get(&group).map(|e| e.joined_upstream).unwrap_or(false);
+        if idle && joined {
+            if let Some(hop) = ctx.next_hop_ip(self.cfg.rp) {
+                let up = ctx.ip_of(hop.next);
+                let rp = self.cfg.rp;
+                self.send_join_prune(ctx, hop.iface, up, group, vec![], vec![SourceEntry::wildcard_rpt(rp)]);
+            }
+            self.star_g.remove(&group);
+            // The group is gone; its (S,G,rpt) prune records are moot.
+            self.rpt_pruned.retain(|(_, _, g)| *g != group);
+        }
+    }
+
+    /// Soft-state hygiene: drop joined-interface records past their
+    /// holdtime, and entries with neither live interfaces nor an upstream
+    /// join — otherwise expired state inflates [`state_entries`].
+    fn purge_expired(&mut self, now: SimTime) {
+        for e in self.star_g.values_mut().chain(self.sg.values_mut()) {
+            e.joined_ifaces.retain(|_, exp| *exp > now);
+        }
+        self.star_g
+            .retain(|_, e| e.joined_upstream || !e.joined_ifaces.is_empty());
+        self.sg
+            .retain(|_, e| e.joined_upstream || !e.joined_ifaces.is_empty());
+    }
+
+    /// Outgoing interfaces for a (*,G) shared-tree packet from source `s`.
+    fn shared_oifs(&self, ctx: &mut Ctx<'_>, group: Ipv4Addr, s: Ipv4Addr, in_iface: IfaceId) -> Vec<IfaceId> {
+        let now = ctx.now();
+        let mut set: HashSet<IfaceId> = HashSet::new();
+        if let Some(e) = self.star_g.get(&group) {
+            set.extend(e.live_ifaces(now));
+        }
+        set.extend(self.members.member_ifaces(group));
+        set.remove(&in_iface);
+        // (S,G,rpt) prunes exclude interfaces that switched to the SPT.
+        set.retain(|i| !self.rpt_pruned.contains(&(*i, s, group)));
+        let mut v: Vec<IfaceId> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    fn sg_oifs(&self, ctx: &mut Ctx<'_>, source: Ipv4Addr, group: Ipv4Addr, in_iface: IfaceId) -> Vec<IfaceId> {
+        let now = ctx.now();
+        let mut set: HashSet<IfaceId> = HashSet::new();
+        if let Some(e) = self.sg.get(&(source, group)) {
+            set.extend(e.live_ifaces(now));
+        }
+        set.extend(self.members.member_ifaces(group));
+        set.remove(&in_iface);
+        let mut v: Vec<IfaceId> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    fn emit_data(&mut self, ctx: &mut Ctx<'_>, bytes: &[u8], header: Ipv4Repr, oifs: &[IfaceId]) {
+        if header.ttl <= 1 || oifs.is_empty() {
+            return;
+        }
+        let out = util::patch_ttl(bytes, header.ttl - 1);
+        for &i in oifs {
+            ctx.send(i, &out, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
+        }
+        self.counters.data_forwarded += 1;
+        ctx.count("pim.data_fwd", 1);
+    }
+
+    /// Handle a native multicast data packet.
+    fn handle_data(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], header: Ipv4Repr) {
+        let s = header.src;
+        let g = header.dst;
+        let _now = ctx.now();
+
+        // DR duty: source directly attached on this interface ⇒ register.
+        let src_is_local = ctx
+            .neighbors_on(iface)
+            .iter()
+            .any(|&(n, _)| ctx.topology().ip(n) == s && ctx.topology().kind(n) == netsim::NodeKind::Host);
+        if src_is_local && !self.am_rp(ctx) {
+            let meta = self.sg_meta.entry((s, g)).or_default();
+            if !meta.register_stopped {
+                if let Ok(tunnel) = express_wire::encap::encapsulate(ctx.my_ip(), self.cfg.rp, util::DEFAULT_TTL, bytes) {
+                    if let Some(hop) = ctx.next_hop_ip(self.cfg.rp) {
+                        let nxt = hop.next;
+                        ctx.send(hop.iface, &tunnel, TrafficClass::Data, Reliability::Datagram, Tx::To(nxt));
+                        self.counters.registers_tx += 1;
+                        ctx.count("pim.register_tx", 1);
+                    }
+                }
+            }
+        }
+
+        // Native (S,G) on its RPF interface?
+        let sg_iif = ctx.rpf(s).map(|h| h.iface);
+        let has_sg = self.sg.contains_key(&(s, g));
+        if has_sg && sg_iif == Some(iface) {
+            if self.am_rp(ctx) {
+                self.sg_meta.entry((s, g)).or_default().native_seen = true;
+            }
+            // RFC 2117 inherited outgoing list: (S,G) joins plus (*,G)
+            // joins minus (S,G,rpt) prunes — at the RP this is what carries
+            // native source-tree data onward down the shared tree.
+            let mut oifs = self.sg_oifs(ctx, s, g, iface);
+            for i in self.shared_oifs(ctx, g, s, iface) {
+                if !oifs.contains(&i) {
+                    oifs.push(i);
+                }
+            }
+            oifs.sort();
+            self.emit_data(ctx, bytes, header, &oifs);
+            return;
+        }
+
+        if src_is_local {
+            // First-hop: deliver to local members only; remote receivers are
+            // served by the register tunnel until (S,G) joins arrive.
+            let mut oifs = self.members.member_ifaces(g);
+            oifs.retain(|&i| i != iface);
+            self.emit_data(ctx, bytes, header, &oifs);
+            return;
+        }
+
+        // Shared tree: packet must arrive on the RPF interface toward the RP
+        // (at the RP itself, decapsulated registers enter via handle_encap).
+        let rpt_iif = ctx.rpf(self.cfg.rp).map(|h| h.iface);
+        if rpt_iif == Some(iface) || self.am_rp(ctx) {
+            let oifs = self.shared_oifs(ctx, g, s, iface);
+            self.emit_data(ctx, bytes, header, &oifs);
+            self.maybe_switch_to_spt(ctx, s, g, iface);
+        }
+    }
+
+    /// Last-hop SPT switchover (§4.4): count shared-tree packets for (S,G);
+    /// past the threshold, join the source tree and prune the source off
+    /// the shared tree.
+    fn maybe_switch_to_spt(&mut self, ctx: &mut Ctx<'_>, s: Ipv4Addr, g: Ipv4Addr, _iface: IfaceId) {
+        let Some(threshold) = self.cfg.spt_threshold else { return };
+        // Only last-hop routers (with local members) initiate the switch.
+        if self.members.member_ifaces(g).is_empty() {
+            return;
+        }
+        let meta = self.sg_meta.entry((s, g)).or_default();
+        if meta.on_spt {
+            return;
+        }
+        meta.shared_packets += 1;
+        if meta.shared_packets > threshold {
+            meta.on_spt = true;
+            self.counters.spt_switches += 1;
+            ctx.count("pim.spt_switch", 1);
+            self.join_source_tree(ctx, s, g);
+            // Prune (S,G,rpt) toward the RP.
+            if let Some(hop) = ctx.next_hop_ip(self.cfg.rp) {
+                let up = ctx.ip_of(hop.next);
+                self.send_join_prune(ctx, hop.iface, up, g, vec![], vec![SourceEntry::source_rpt(s)]);
+            }
+        }
+    }
+
+    /// RP register handling: decapsulate, distribute down the shared tree,
+    /// join the source tree, stop the tunnel once native data flows.
+    fn handle_encap(&mut self, ctx: &mut Ctx<'_>, outer: Ipv4Repr, inner: Vec<u8>) {
+        if !self.am_rp(ctx) {
+            return;
+        }
+        let Ok(inner_hdr) = Ipv4Repr::parse(&inner) else { return };
+        if !inner_hdr.dst.is_multicast() {
+            return;
+        }
+        let (s, g) = (inner_hdr.src, inner_hdr.dst);
+        // Forward down the shared tree (no incoming interface to exclude —
+        // the packet arrived by tunnel).
+        let oifs = self.shared_oifs(ctx, g, s, IfaceId(31));
+        self.emit_data(ctx, &inner, inner_hdr, &oifs);
+
+        let meta = self.sg_meta.entry((s, g)).or_default();
+        let native = meta.native_seen;
+        if !self.sg.contains_key(&(s, g)) {
+            self.join_source_tree(ctx, s, g);
+        }
+        if native {
+            let stop = PimMessage::RegisterStop { source: s, group: g };
+            // The register came from the DR (outer source).
+            if let Some(hop) = ctx.next_hop_ip(outer.src) {
+                util::send_control_to(ctx, hop.iface, outer.src, Protocol::Pim, &stop.to_vec());
+                self.counters.register_stops_tx += 1;
+                ctx.count("pim.register_stop_tx", 1);
+            }
+        }
+    }
+
+    fn handle_pim(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, _header: Ipv4Repr, msg: PimMessage) {
+        let now = ctx.now();
+        match msg {
+            PimMessage::JoinPrune { upstream, groups, holdtime_secs } => {
+                if upstream != ctx.my_ip() {
+                    return;
+                }
+                let expiry = now + SimDuration::from_secs(u64::from(holdtime_secs));
+                for gb in groups {
+                    for j in &gb.joins {
+                        if j.wildcard {
+                            let e = self.star_g.entry(gb.group).or_default();
+                            let newly = e.joined_ifaces.insert(iface, expiry).is_none();
+                            let need_join = newly && !e.joined_upstream;
+                            if need_join {
+                                self.join_shared_tree(ctx, gb.group);
+                            }
+                        } else {
+                            let e = self.sg.entry((j.addr, gb.group)).or_default();
+                            let newly = e.joined_ifaces.insert(iface, expiry).is_none();
+                            let need_join = newly && !e.joined_upstream;
+                            if need_join {
+                                self.join_source_tree(ctx, j.addr, gb.group);
+                            }
+                        }
+                    }
+                    for p in &gb.prunes {
+                        if p.wildcard {
+                            if let Some(e) = self.star_g.get_mut(&gb.group) {
+                                e.joined_ifaces.remove(&iface);
+                            }
+                        } else if p.rpt {
+                            self.rpt_pruned.insert((iface, p.addr, gb.group));
+                        } else if let Some(e) = self.sg.get_mut(&(p.addr, gb.group)) {
+                            e.joined_ifaces.remove(&iface);
+                        }
+                    }
+                }
+            }
+            PimMessage::RegisterStop { source, group } => {
+                self.sg_meta.entry((source, group)).or_default().register_stopped = true;
+            }
+            PimMessage::Hello { .. } | PimMessage::Register { .. } => {}
+        }
+    }
+}
+
+impl Agent for PimRouter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.cfg.join_refresh, TIMER_REFRESH);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], class: TrafficClass) {
+        let me = ctx.my_ip();
+        let Ok(header) = Ipv4Repr::parse(bytes) else { return };
+        let payload = &bytes[ipv4::HEADER_LEN..ipv4::HEADER_LEN + header.payload_len];
+        match header.protocol {
+            Protocol::Igmp => {
+                let changed = self.members.update(iface, payload, ctx.now());
+                for g in changed {
+                    if self.members.any_members(g) {
+                        self.join_shared_tree(ctx, g);
+                    } else {
+                        self.prune_shared_tree_if_idle(ctx, g);
+                    }
+                }
+            }
+            Protocol::Pim if header.dst == me => {
+                if let Ok(msg) = PimMessage::parse(payload) {
+                    self.handle_pim(ctx, iface, header, msg);
+                }
+            }
+            Protocol::IpIp if header.dst == me => {
+                if let Ok((outer, inner)) = express_wire::encap::decapsulate(bytes) {
+                    self.handle_encap(ctx, outer, inner.to_vec());
+                }
+            }
+            _ if header.dst.is_multicast() => self.handle_data(ctx, iface, bytes, header),
+            _ if header.dst != me => {
+                let _ = util::forward_unicast(ctx, bytes, header, class);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != TIMER_REFRESH {
+            return;
+        }
+        self.purge_expired(ctx.now());
+        // Soft-state refresh: re-send joins for all live state (the
+        // per-group periodic cost ECMP's TCP mode avoids).
+        let shared: Vec<Ipv4Addr> = self
+            .star_g
+            .iter()
+            .filter(|(_, e)| e.joined_upstream)
+            .map(|(g, _)| *g)
+            .collect();
+        for g in shared {
+            self.join_shared_tree(ctx, g);
+        }
+        let sources: Vec<(Ipv4Addr, Ipv4Addr)> = self
+            .sg
+            .iter()
+            .filter(|(_, e)| e.joined_upstream)
+            .map(|(k, _)| *k)
+            .collect();
+        for (s, g) in sources {
+            self.join_source_tree(ctx, s, g);
+        }
+        ctx.set_timer(self.cfg.join_refresh, TIMER_REFRESH);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_entry_expiry() {
+        let mut e = TreeEntry::default();
+        e.joined_ifaces.insert(IfaceId(1), SimTime(100));
+        e.joined_ifaces.insert(IfaceId(2), SimTime(300));
+        assert_eq!(e.live_ifaces(SimTime(200)), vec![IfaceId(2)]);
+        assert_eq!(e.live_ifaces(SimTime(400)), Vec::<IfaceId>::new());
+    }
+
+    #[test]
+    fn config_defaults() {
+        let c = PimConfig::new(Ipv4Addr::new(10, 0, 0, 9));
+        assert_eq!(c.spt_threshold, Some(0));
+        assert!(c.holdtime > c.join_refresh);
+    }
+}

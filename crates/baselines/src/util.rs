@@ -1,0 +1,118 @@
+//! Shared helpers for the baseline protocol agents.
+
+use express_wire::addr::Ipv4Addr;
+use express_wire::ipv4::{self, Ipv4Repr, Protocol};
+use netsim::engine::{Ctx, Reliability, Tx};
+use netsim::stats::TrafficClass;
+
+/// Default TTL for generated datagrams.
+pub const DEFAULT_TTL: u8 = 64;
+
+/// Build a multicast data datagram from `src` to group `dst` with a zeroed
+/// payload of `payload_len` octets.
+pub fn group_data(src: Ipv4Addr, dst: Ipv4Addr, payload_len: usize, ttl: u8) -> Vec<u8> {
+    let repr = Ipv4Repr {
+        src,
+        dst,
+        protocol: Protocol::Udp,
+        ttl,
+        payload_len,
+    };
+    let mut buf = vec![0u8; repr.buffer_len()];
+    repr.emit(&mut buf).expect("sized");
+    buf
+}
+
+/// Build a unicast datagram carrying `payload` with the given protocol.
+pub fn unicast_datagram(src: Ipv4Addr, dst: Ipv4Addr, protocol: Protocol, payload: &[u8], ttl: u8) -> Vec<u8> {
+    let repr = Ipv4Repr {
+        src,
+        dst,
+        protocol,
+        ttl,
+        payload_len: payload.len(),
+    };
+    let mut buf = vec![0u8; repr.buffer_len()];
+    repr.emit(&mut buf).expect("sized");
+    buf[ipv4::HEADER_LEN..].copy_from_slice(payload);
+    buf
+}
+
+/// Rewrite the TTL (and checksum) of a datagram.
+pub fn patch_ttl(bytes: &[u8], new_ttl: u8) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.len() >= ipv4::HEADER_LEN {
+        out[8] = new_ttl;
+        out[10] = 0;
+        out[11] = 0;
+        let ck = express_wire::checksum::checksum(&out[..ipv4::HEADER_LEN]);
+        out[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+    out
+}
+
+/// Forward a unicast datagram one hop along the shortest path; returns true
+/// if a route existed.
+pub fn forward_unicast(ctx: &mut Ctx<'_>, bytes: &[u8], header: Ipv4Repr, class: TrafficClass) -> bool {
+    if header.ttl <= 1 {
+        return false;
+    }
+    let Some(hop) = ctx.next_hop_ip(header.dst) else {
+        return false;
+    };
+    let out = patch_ttl(bytes, header.ttl - 1);
+    let next = hop.next;
+    ctx.send(hop.iface, &out, class, Reliability::Datagram, Tx::To(next))
+}
+
+/// Send a control payload out `iface` addressed to `to`, which may be a
+/// direct neighbor or several hops away — the frame is always handed to the
+/// next hop on `iface`, and transit routers unicast-forward it onward.
+pub fn send_control_to(ctx: &mut Ctx<'_>, iface: netsim::IfaceId, to: Ipv4Addr, protocol: Protocol, payload: &[u8]) {
+    let pkt = unicast_datagram(ctx.my_ip(), to, protocol, payload, DEFAULT_TTL);
+    // Prefer the destination if it is directly on this link (the common
+    // hop-by-hop case); otherwise hand the frame to the unicast next hop.
+    let direct = ctx
+        .neighbors_on(iface)
+        .iter()
+        .find(|&&(n, _)| ctx.topology().ip(n) == to)
+        .map(|&(n, _)| Tx::To(n));
+    let tx = direct
+        .or_else(|| ctx.next_hop_ip(to).map(|h| Tx::To(h.next)))
+        .unwrap_or(Tx::AllOnLink);
+    ctx.send(iface, &pkt, TrafficClass::Control, Reliability::Datagram, tx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_data_valid() {
+        let pkt = group_data(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(224, 1, 1, 1), 32, 64);
+        let h = Ipv4Repr::parse(&pkt).unwrap();
+        assert_eq!(h.payload_len, 32);
+        assert!(h.dst.is_multicast());
+    }
+
+    #[test]
+    fn patch_ttl_revalidates() {
+        let pkt = group_data(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(224, 1, 1, 1), 8, 9);
+        let out = patch_ttl(&pkt, 8);
+        assert_eq!(Ipv4Repr::parse(&out).unwrap().ttl, 8);
+    }
+
+    #[test]
+    fn unicast_datagram_roundtrip() {
+        let pkt = unicast_datagram(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Protocol::Pim,
+            b"abc",
+            64,
+        );
+        let h = Ipv4Repr::parse(&pkt).unwrap();
+        assert_eq!(h.protocol, Protocol::Pim);
+        assert_eq!(&pkt[ipv4::HEADER_LEN..], b"abc");
+    }
+}

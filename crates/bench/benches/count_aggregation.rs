@@ -1,0 +1,80 @@
+//! E8 performance: count aggregation — the pure per-router record work and
+//! a full tree-wide subscriber poll per iteration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use express::counting::{decrement_timeout, PendingCount, ReplyTo};
+use express::host::{ExpressHost, HostAction};
+use express_bench::harness::{at_ms, express_sim, subscribe_all};
+use express_wire::addr::{Channel, Ipv4Addr};
+use express_wire::ecmp::CountId;
+use netsim::time::{SimDuration, SimTime};
+use netsim::topogen;
+use netsim::topology::LinkSpec;
+use std::hint::black_box;
+
+fn bench_pending(c: &mut Criterion) {
+    let mut g = c.benchmark_group("count/pending_record");
+    let neighbors: Vec<Ipv4Addr> = (0..32).map(|i| Ipv4Addr::new(10, 0, 1, i)).collect();
+    g.throughput(Throughput::Elements(32));
+    g.bench_function("record_32_neighbors", |b| {
+        b.iter_batched(
+            || PendingCount::new(neighbors.iter().copied(), 0, ReplyTo::Local, SimTime(0), 0),
+            |mut pc| {
+                for (i, n) in neighbors.iter().enumerate() {
+                    pc.record(*n, i as u64);
+                }
+                assert!(pc.complete());
+                black_box(pc.total())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("timeout_decrement", |b| {
+        b.iter(|| {
+            decrement_timeout(
+                black_box(SimDuration::from_millis(30_000)),
+                black_box(SimDuration::from_millis(200)),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_tree_poll(c: &mut Criterion) {
+    let mut g = c.benchmark_group("count/tree_poll");
+    g.sample_size(10);
+    g.bench_function("poll_64_subscribers", |b| {
+        b.iter_batched(
+            || {
+                let g = topogen::kary_tree(4, 3, LinkSpec::default());
+                let mut sim = express_sim(&g, 8);
+                let src = g.hosts[0];
+                let chan = Channel::new(g.topo.ip(src), 1).unwrap();
+                subscribe_all(&mut sim, &g.hosts[1..], chan, at_ms(1));
+                sim.run_until(at_ms(2_000));
+                ExpressHost::schedule(
+                    &mut sim,
+                    src,
+                    at_ms(2_000),
+                    HostAction::CountQuery {
+                        channel: chan,
+                        count_id: CountId::SUBSCRIBERS,
+                        timeout: SimDuration::from_secs(30),
+                    },
+                );
+                (sim, src, chan)
+            },
+            |(mut sim, src, _chan)| {
+                sim.run_until(at_ms(40_000));
+                let host = sim.agent_as::<ExpressHost>(src).unwrap();
+                let r = host.count_results();
+                assert_eq!(r[0].3, 64);
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pending, bench_tree_poll);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E3 measured: ECMP subscribe/unsubscribe event-processing throughput at
+//! a core router with eight neighbors — this implementation's analogue of
+//! the paper's §5.3 measurement ("4,500 incoming events per second ... four
+//! percent of the CPU on a 400 megahertz Pentium-II ... approximately 5,000
+//! cycles per event").
+//!
+//! The benched unit is a complete simulation run (churn workload through
+//! the core router, including packet parse/emit on every hop), reported as
+//! throughput in ECMP events; divide wall time by events for the per-event
+//! cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use express_bench::harness::churn_setup;
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecmp/event_processing");
+    g.sample_size(10);
+    for n_channels in [500usize, 2_000] {
+        g.throughput(Throughput::Elements(2 * n_channels as u64));
+        g.bench_with_input(
+            BenchmarkId::new("churn_8_neighbors", n_channels),
+            &n_channels,
+            |b, &n| {
+                b.iter_batched(
+                    || churn_setup(8, n, 5),
+                    |mut setup| {
+                        let end = setup.end;
+                        setup.sim.run_until(end);
+                        setup.sim.events_processed()
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E5 harness performance: one full Figure-8 proactive-counting scenario
+//! (scaled down) per iteration, plus the pure error-tolerance-curve math.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use express::proactive::ErrorToleranceCurve;
+use express_bench::harness::fig8_run;
+use std::hint::black_box;
+
+fn bench_curve_math(c: &mut Criterion) {
+    let curve = ErrorToleranceCurve::paper(4.0);
+    c.bench_function("proactive/curve_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for dt in 1..120 {
+                acc += curve.e_max(black_box(dt as f64));
+            }
+            acc
+        })
+    });
+    c.bench_function("proactive/should_send", |b| {
+        b.iter(|| {
+            curve.should_send(
+                black_box(100),
+                black_box(150),
+                netsim::SimTime::ZERO,
+                netsim::SimTime(5_000_000),
+            )
+        })
+    });
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proactive/fig8");
+    g.sample_size(10);
+    g.bench_function("scenario_60subs_tau10", |b| {
+        b.iter(|| fig8_run(black_box(60), 4.0, 10.0, 3, 7))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_curve_math, bench_scenario);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E6 micro: tree-construction cost — the simulated work to join N
+//! subscribers to a channel, EXPRESS (RPF joins) vs PIM-SM (IGMP + shared
+//! tree + register machinery), on the same topology.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use express::host::{ExpressHost, HostAction};
+use express_bench::harness::{at_ms, express_sim};
+use express_wire::addr::{Channel, Ipv4Addr};
+use mcast_baselines::igmp::{GroupHost, GroupHostAction, IgmpVersion};
+use mcast_baselines::{PimConfig, PimRouter};
+use netsim::topogen;
+use netsim::topology::LinkSpec;
+use netsim::{NodeKind, Sim};
+
+fn bench_joins(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("protocol/join_n_subscribers");
+    grp.sample_size(10);
+    for n in [16usize, 64] {
+        let depth = if n == 16 { 2 } else { 3 };
+        grp.throughput(Throughput::Elements(n as u64));
+        grp.bench_with_input(BenchmarkId::new("express", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let g = topogen::kary_tree(4, depth, LinkSpec::default());
+                    let mut sim = express_sim(&g, 3);
+                    let chan = Channel::new(g.topo.ip(g.hosts[0]), 1).unwrap();
+                    for &h in &g.hosts[1..] {
+                        ExpressHost::schedule(&mut sim, h, at_ms(1), HostAction::Subscribe { channel: chan, key: None });
+                    }
+                    sim
+                },
+                |mut sim| {
+                    sim.run_until(at_ms(5_000));
+                    sim.events_processed()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        grp.bench_with_input(BenchmarkId::new("pim_sm", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let g = topogen::kary_tree(4, depth, LinkSpec::default());
+                    let rp = g.topo.ip(g.routers[0]);
+                    let mut sim = Sim::new(g.topo.clone(), 3);
+                    for node in g.topo.node_ids() {
+                        match g.topo.kind(node) {
+                            NodeKind::Router => {
+                                sim.set_agent(node, Box::new(PimRouter::new(PimConfig::new(rp))))
+                            }
+                            NodeKind::Host => sim.set_agent(node, Box::new(GroupHost::new(IgmpVersion::V2))),
+                        }
+                    }
+                    let group = Ipv4Addr::new(224, 5, 5, 5);
+                    for &h in &g.hosts[1..] {
+                        GroupHost::schedule(&mut sim, h, at_ms(1), GroupHostAction::Join { group, sources: vec![] });
+                    }
+                    sim
+                },
+                |mut sim| {
+                    sim.run_until(at_ms(5_000));
+                    sim.events_processed()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

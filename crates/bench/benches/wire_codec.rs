@@ -1,0 +1,118 @@
+//! Wire-format codec throughput: the per-message cost underlying every
+//! control-plane number in the paper (§5.3's cycles/event include exactly
+//! this parse/emit work).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use express_wire::addr::{Channel, Ipv4Addr};
+use express_wire::ecmp::{self, Count, CountId, CountQuery, EcmpMessage};
+use express_wire::fib::FibEntry;
+use express_wire::igmp::{GroupRecord, IgmpV3, RecordType};
+use express_wire::ipv4::{Ipv4Repr, Protocol};
+use std::hint::black_box;
+
+fn chan() -> Channel {
+    Channel::new(Ipv4Addr::new(10, 0, 0, 1), 42).unwrap()
+}
+
+fn bench_ecmp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/ecmp");
+    let count = EcmpMessage::from(Count {
+        channel: chan(),
+        count_id: CountId::SUBSCRIBERS,
+        count: 123,
+        key: None,
+    });
+    let bytes = count.to_vec();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("emit_count", |b| {
+        let mut buf = [0u8; 64];
+        b.iter(|| count.emit(black_box(&mut buf)).unwrap())
+    });
+    g.bench_function("parse_count", |b| {
+        b.iter(|| EcmpMessage::parse(black_box(&bytes)).unwrap())
+    });
+
+    let query = EcmpMessage::from(CountQuery {
+        channel: chan(),
+        count_id: CountId::SUBSCRIBERS,
+        timeout_ms: 30_000,
+        proactive: None,
+    });
+    let qbytes = query.to_vec();
+    g.bench_function("parse_query", |b| {
+        b.iter(|| EcmpMessage::parse(black_box(&qbytes)).unwrap())
+    });
+
+    // The §5.3 TCP batch: a full segment of Counts.
+    let msgs: Vec<EcmpMessage> = (0..67)
+        .map(|i| {
+            EcmpMessage::from(Count {
+                channel: Channel::new(Ipv4Addr::new(10, 0, 0, 1), i).unwrap(),
+                count_id: CountId::SUBSCRIBERS,
+                count: 1,
+                key: None,
+            })
+        })
+        .collect();
+    let (batch, taken) = ecmp::emit_batch(&msgs, 1480);
+    assert_eq!(taken, 67);
+    g.throughput(Throughput::Bytes(batch.len() as u64));
+    g.bench_function("emit_batch_67", |b| {
+        b.iter(|| ecmp::emit_batch(black_box(&msgs), 1480))
+    });
+    g.bench_function("parse_batch_67", |b| {
+        b.iter(|| ecmp::parse_batch(black_box(&batch)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ipv4_and_fib(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/fastpath");
+    let hdr = Ipv4Repr {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        dst: Ipv4Addr::new(232, 0, 0, 42),
+        protocol: Protocol::Udp,
+        ttl: 64,
+        payload_len: 1000,
+    };
+    let mut pkt = vec![0u8; hdr.buffer_len()];
+    hdr.emit(&mut pkt).unwrap();
+    g.bench_function("ipv4_parse", |b| {
+        b.iter(|| Ipv4Repr::parse(black_box(&pkt)).unwrap())
+    });
+    g.bench_function("ipv4_emit", |b| {
+        b.iter_batched(
+            || vec![0u8; hdr.buffer_len()],
+            |mut buf| hdr.emit(black_box(&mut buf)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let entry = FibEntry::new(chan(), 3, 0x0000_FF00).unwrap();
+    g.bench_function("fib_entry_pack_unpack", |b| {
+        b.iter(|| {
+            let e = FibEntry::from_raw(black_box(entry.raw())).unwrap();
+            black_box(e.channel());
+            black_box(e.oif_mask());
+        })
+    });
+    g.finish();
+}
+
+fn bench_igmp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/igmp");
+    let report = IgmpV3::Report {
+        records: vec![GroupRecord {
+            record_type: RecordType::ChangeToInclude,
+            group: Ipv4Addr::new(232, 1, 1, 1),
+            sources: vec![Ipv4Addr::new(10, 0, 0, 1)],
+        }],
+    };
+    let bytes = report.to_vec();
+    g.bench_function("v3_report_roundtrip", |b| {
+        b.iter(|| IgmpV3::parse(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ecmp, bench_ipv4_and_fib, bench_igmp);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! E9 — the §1 ISP-bandwidth motivation: a source reaching k sites at rate
+//! R pays k·R with unicast but R with an EXPRESS channel.
+//!
+//! Analytic: the Super-Bowl arithmetic (10M subscribers × 4 Mb/s MPEG-2 =
+//! 40 Tb/s aggregate). Measured: the same transmission on a simulated ISP
+//! topology via unicast fan-out vs one EXPRESS channel — delivered bytes,
+//! source access-link load, and the busiest-link load.
+
+use express::host::{ExpressHost, HostAction};
+use express::router::{EcmpRouter, RouterConfig};
+use express_bench::harness::{self, at_ms};
+use express_wire::addr::{Channel, Ipv4Addr};
+use mcast_baselines::unicast::{UnicastRouter, UnicastSink, UnicastSource};
+use netsim::topogen;
+use netsim::topology::LinkSpec;
+use netsim::{NodeKind, Sim};
+
+fn main() {
+    println!("=== E9: unicast fan-out vs one EXPRESS channel (§1) ===\n");
+
+    println!("--- Analytic: the Super Bowl example ---");
+    let subscribers = 10_000_000u64;
+    let rate_mbps = 4.0;
+    println!("  subscribers             = {subscribers}");
+    println!("  stream rate             = {rate_mbps} Mb/s (MPEG-2)");
+    println!(
+        "  unicast aggregate       = {:.0} Tb/s   (paper: \"40 terabits per second\")",
+        subscribers as f64 * rate_mbps / 1e6
+    );
+    println!("  multicast input rate    = {rate_mbps} Mb/s — what input-rate billing sees");
+    println!("  per-link multicast rate = {rate_mbps} Mb/s on every tree link\n");
+
+    println!("--- Measured: 20 subscribers on a transit-stub ISP ---");
+    let g = topogen::transit_stub(4, 2, 3, LinkSpec::wan(2), LinkSpec::default());
+    let src = g.hosts[0];
+    let receivers: Vec<_> = g.hosts[1..21].to_vec();
+    let payload = 1_000usize;
+    let frames = 20u64;
+
+    // Unicast run.
+    let mut uni = Sim::new(g.topo.clone(), 91);
+    for &r in &g.routers {
+        uni.set_agent(r, Box::new(UnicastRouter));
+    }
+    let recv_ips: Vec<Ipv4Addr> = receivers.iter().map(|&h| g.topo.ip(h)).collect();
+    uni.set_agent(src, Box::new(UnicastSource::new(recv_ips)));
+    for &h in &receivers {
+        uni.set_agent(h, Box::new(UnicastSink::new()));
+    }
+    for i in 0..frames {
+        UnicastSource::schedule_burst(&mut uni, src, at_ms(100 + i * 50), payload);
+    }
+    uni.run_until(at_ms(10_000));
+    let delivered_uni: usize = receivers
+        .iter()
+        .map(|&h| uni.agent_as::<UnicastSink>(h).unwrap().received.len())
+        .sum();
+    let uni_total = uni.stats().total().data_bytes;
+    let src_link = g.topo.link_of(src, netsim::IfaceId(0)).unwrap();
+    let uni_src_link = uni.stats().link(src_link).data_bytes;
+    let uni_max_link = (0..g.topo.link_count() as u32)
+        .map(|l| uni.stats().link(netsim::LinkId(l)).data_bytes)
+        .max()
+        .unwrap();
+
+    // EXPRESS run.
+    let mut mc = Sim::new(g.topo.clone(), 92);
+    for node in g.topo.node_ids() {
+        match g.topo.kind(node) {
+            NodeKind::Router => mc.set_agent(node, Box::new(EcmpRouter::new(RouterConfig::default()))),
+            NodeKind::Host => mc.set_agent(node, Box::new(ExpressHost::new())),
+        }
+    }
+    let chan = Channel::new(g.topo.ip(src), 1).unwrap();
+    harness::subscribe_all(&mut mc, &receivers, chan, at_ms(1));
+    for i in 0..frames {
+        ExpressHost::schedule(
+            &mut mc,
+            src,
+            at_ms(100 + i * 50),
+            HostAction::SendData { channel: chan, payload_len: payload },
+        );
+    }
+    mc.run_until(at_ms(10_000));
+    let delivered_mc: usize = receivers
+        .iter()
+        .map(|&h| mc.agent_as::<ExpressHost>(h).unwrap().data_received(chan))
+        .sum();
+    let mc_total = mc.stats().total().data_bytes;
+    let mc_src_link = mc.stats().link(src_link).data_bytes;
+    let mc_max_link = (0..g.topo.link_count() as u32)
+        .map(|l| mc.stats().link(netsim::LinkId(l)).data_bytes)
+        .max()
+        .unwrap();
+
+    assert_eq!(delivered_uni, delivered_mc, "both deliver every frame");
+
+    harness::header(
+        &["transport", "delivered", "total link B", "src access B", "max link B"],
+        &[10, 10, 13, 13, 11],
+    );
+    for (name, d, t, s, m) in [
+        ("unicast", delivered_uni, uni_total, uni_src_link, uni_max_link),
+        ("EXPRESS", delivered_mc, mc_total, mc_src_link, mc_max_link),
+    ] {
+        println!(
+            "{}",
+            harness::row(
+                &[
+                    name.to_string(),
+                    d.to_string(),
+                    t.to_string(),
+                    s.to_string(),
+                    m.to_string(),
+                ],
+                &[10, 10, 13, 13, 11],
+            )
+        );
+    }
+    println!(
+        "\n  unicast / EXPRESS ratios: total {:.1}x, source access link {:.1}x",
+        uni_total as f64 / mc_total as f64,
+        uni_src_link as f64 / mc_src_link as f64
+    );
+    println!("  (k = 20 receivers: the source's access link carries ~k·R under");
+    println!("   unicast and exactly R under the channel — the input-rate-billing");
+    println!("   asymmetry that motivates charging the channel source, §2.2.3.)");
+    assert!(uni_src_link >= 19 * mc_src_link, "k·R on the access link");
+}

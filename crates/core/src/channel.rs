@@ -1,0 +1,186 @@
+//! Per-host channel allocation (paper §2.2.1).
+//!
+//! "EXPRESS provides 2^24 channels per source, allowing each host to
+//! autonomously allocate channels. Duplicate allocation is an issue only at
+//! a single host, which the host operating system can avoid with a local
+//! database of allocated channels." This module is that local database —
+//! there is no global allocation service, by design.
+
+use express_wire::addr::{Channel, ChannelDest, Ipv4Addr};
+use std::collections::HashSet;
+
+/// Errors from channel allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// All 2^24 channel numbers are in use (16 million live channels on one
+    /// host — practically unreachable, but handled).
+    Exhausted,
+    /// The requested channel number is already allocated on this host.
+    InUse(u32),
+    /// The requested channel number exceeds 24 bits.
+    OutOfRange(u32),
+}
+
+impl core::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AllocError::Exhausted => write!(f, "all 2^24 channels allocated"),
+            AllocError::InUse(c) => write!(f, "channel {c} already allocated"),
+            AllocError::OutOfRange(c) => write!(f, "channel number {c} exceeds 24 bits"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// The local database of channels allocated by one source host.
+///
+/// ```
+/// use express::channel::ChannelAllocator;
+/// use express_wire::addr::Ipv4Addr;
+///
+/// let mut alloc = ChannelAllocator::new(Ipv4Addr::new(10, 0, 0, 1));
+/// let a = alloc.allocate().unwrap();
+/// let b = alloc.allocate().unwrap();
+/// assert_ne!(a, b);                 // never a duplicate on this host
+/// assert!(alloc.release(a));        // returned to the local pool
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChannelAllocator {
+    source: Ipv4Addr,
+    allocated: HashSet<u32>,
+    next: u32,
+}
+
+impl ChannelAllocator {
+    /// An allocator for the host with unicast address `source`.
+    pub fn new(source: Ipv4Addr) -> Self {
+        ChannelAllocator {
+            source,
+            allocated: HashSet::new(),
+            next: 0,
+        }
+    }
+
+    /// The source address channels are allocated under.
+    pub fn source(&self) -> Ipv4Addr {
+        self.source
+    }
+
+    /// Allocate the next free channel. No network round-trip, no global
+    /// coordination — the contrast with the group model's allocation
+    /// services (MASC/IANA) the paper draws in §1 and §2.2.1.
+    pub fn allocate(&mut self) -> Result<Channel, AllocError> {
+        if self.allocated.len() > ChannelDest::MAX as usize {
+            return Err(AllocError::Exhausted);
+        }
+        // Scan forward from the cursor; wraps once.
+        for _ in 0..=ChannelDest::MAX {
+            let c = self.next;
+            self.next = (self.next + 1) & ChannelDest::MAX;
+            if self.allocated.insert(c) {
+                return Ok(Channel::new(self.source, c).expect("24-bit by mask"));
+            }
+        }
+        Err(AllocError::Exhausted)
+    }
+
+    /// Allocate a specific channel number (e.g. a well-known channel
+    /// published in an advertisement).
+    pub fn allocate_specific(&mut self, chan: u32) -> Result<Channel, AllocError> {
+        if chan > ChannelDest::MAX {
+            return Err(AllocError::OutOfRange(chan));
+        }
+        if !self.allocated.insert(chan) {
+            return Err(AllocError::InUse(chan));
+        }
+        Ok(Channel::new(self.source, chan).expect("checked"))
+    }
+
+    /// Return a channel to the local pool.
+    pub fn release(&mut self, channel: Channel) -> bool {
+        channel.source == self.source && self.allocated.remove(&channel.dest.value())
+    }
+
+    /// Is this channel currently allocated here?
+    pub fn is_allocated(&self, channel: Channel) -> bool {
+        channel.source == self.source && self.allocated.contains(&channel.dest.value())
+    }
+
+    /// Number of live channels.
+    pub fn len(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Any live channels?
+    pub fn is_empty(&self) -> bool {
+        self.allocated.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src() -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 1)
+    }
+
+    #[test]
+    fn sequential_allocation_no_duplicates() {
+        let mut a = ChannelAllocator::new(src());
+        let c1 = a.allocate().unwrap();
+        let c2 = a.allocate().unwrap();
+        assert_ne!(c1, c2);
+        assert_eq!(c1.source, src());
+        assert!(a.is_allocated(c1));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn specific_allocation_and_conflict() {
+        let mut a = ChannelAllocator::new(src());
+        let c = a.allocate_specific(77).unwrap();
+        assert_eq!(c.dest.value(), 77);
+        assert_eq!(a.allocate_specific(77), Err(AllocError::InUse(77)));
+        assert_eq!(a.allocate_specific(1 << 24), Err(AllocError::OutOfRange(1 << 24)));
+    }
+
+    #[test]
+    fn release_and_reallocate() {
+        let mut a = ChannelAllocator::new(src());
+        let c = a.allocate_specific(5).unwrap();
+        assert!(a.release(c));
+        assert!(!a.release(c)); // double release
+        assert!(!a.is_allocated(c));
+        assert!(a.allocate_specific(5).is_ok());
+    }
+
+    #[test]
+    fn release_foreign_channel_refused() {
+        let mut a = ChannelAllocator::new(src());
+        let foreign = Channel::new(Ipv4Addr::new(10, 0, 0, 2), 5).unwrap();
+        assert!(!a.release(foreign));
+        assert!(!a.is_allocated(foreign));
+    }
+
+    #[test]
+    fn allocator_skips_specifically_allocated() {
+        let mut a = ChannelAllocator::new(src());
+        a.allocate_specific(0).unwrap();
+        a.allocate_specific(1).unwrap();
+        let c = a.allocate().unwrap();
+        assert_eq!(c.dest.value(), 2);
+    }
+
+    #[test]
+    fn two_hosts_same_number_are_distinct_channels() {
+        // §2: (S,E) and (S',E) are unrelated despite the common E.
+        let mut a = ChannelAllocator::new(Ipv4Addr::new(10, 0, 0, 1));
+        let mut b = ChannelAllocator::new(Ipv4Addr::new(10, 0, 0, 2));
+        let ca = a.allocate_specific(9).unwrap();
+        let cb = b.allocate_specific(9).unwrap();
+        assert_ne!(ca, cb);
+        assert_eq!(ca.group(), cb.group());
+    }
+}

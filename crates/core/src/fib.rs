@@ -1,0 +1,223 @@
+//! The EXPRESS forwarding table: exact-match `(S, E)` lookup over the
+//! packed 12-byte entries of Figure 5.
+//!
+//! Forwarding semantics (§3.4):
+//!
+//! * A packet matching an entry **and** arriving on the entry's incoming
+//!   (RPF) interface is forwarded to the entry's outgoing interface set.
+//! * A packet arriving on the *wrong* interface is dropped (the standard
+//!   reverse-path data-loop check).
+//! * A packet matching **no** entry is "simply counted and dropped, as
+//!   opposed to being forwarded to a rendezvous point as in PIM-SM or
+//!   broadcast as with PIM-DM and DVMRP" — this is the mechanism that makes
+//!   unauthorized senders harmless (§1's third problem).
+
+use express_wire::addr::Channel;
+use express_wire::fib::{FibEntry, FIB_ENTRY_LEN};
+use std::collections::HashMap;
+
+/// The fast-path decision for one received channel packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Forward {
+    /// Forward to these outgoing interfaces (bitmask; never includes the
+    /// arrival interface).
+    To(u32),
+    /// No FIB entry for this (S,E): count and drop.
+    NoEntry,
+    /// Entry exists but the packet arrived on the wrong interface
+    /// (RPF check failed): drop.
+    WrongInterface,
+}
+
+/// Per-table drop/forward counters (the "counted" part of count-and-drop).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FibCounters {
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped with no matching entry (unauthorized or unknown
+    /// senders).
+    pub no_entry_drops: u64,
+    /// Packets dropped by the incoming-interface check.
+    pub rpf_drops: u64,
+}
+
+/// The EXPRESS FIB.
+///
+/// Entries are stored in their packed 12-byte wire representation so
+/// [`memory_bytes`](Fib::memory_bytes) measures exactly the structure the
+/// paper's §5.1 cost model prices.
+///
+/// ```
+/// use express::fib::{Fib, Forward};
+/// use express_wire::addr::{Channel, Ipv4Addr};
+/// use express_wire::fib::FibEntry;
+///
+/// let mut fib = Fib::new();
+/// let chan = Channel::new(Ipv4Addr::new(10, 0, 0, 1), 7).unwrap();
+/// fib.install(FibEntry::new(chan, 0, 0b0110).unwrap());
+///
+/// // Matching packet on the RPF interface: forwarded.
+/// assert_eq!(fib.lookup(chan, 0), Forward::To(0b0110));
+/// // Unknown (S', E): counted and dropped — §3.4's access control.
+/// let rogue = Channel::new(Ipv4Addr::new(10, 9, 9, 9), 7).unwrap();
+/// assert_eq!(fib.lookup(rogue, 0), Forward::NoEntry);
+/// assert_eq!(fib.memory_bytes(), 12);
+/// ```
+#[derive(Debug, Default)]
+pub struct Fib {
+    entries: HashMap<Channel, FibEntry>,
+    counters: FibCounters,
+}
+
+impl Fib {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install or replace the entry for `channel`.
+    pub fn install(&mut self, entry: FibEntry) {
+        self.entries.insert(entry.channel(), entry);
+    }
+
+    /// Remove the entry for `channel`; returns it if present.
+    pub fn remove(&mut self, channel: Channel) -> Option<FibEntry> {
+        self.entries.remove(&channel)
+    }
+
+    /// Read the entry for `channel`.
+    pub fn get(&self, channel: Channel) -> Option<&FibEntry> {
+        self.entries.get(&channel)
+    }
+
+    /// Mutable access to the entry for `channel`.
+    pub fn get_mut(&mut self, channel: Channel) -> Option<&mut FibEntry> {
+        self.entries.get_mut(&channel)
+    }
+
+    /// The forwarding decision of §3.4 for a packet on `channel` arriving
+    /// on interface `in_iface`; updates the counters.
+    pub fn lookup(&mut self, channel: Channel, in_iface: u8) -> Forward {
+        match self.entries.get(&channel) {
+            None => {
+                self.counters.no_entry_drops += 1;
+                Forward::NoEntry
+            }
+            Some(e) if e.in_iface() != in_iface => {
+                self.counters.rpf_drops += 1;
+                Forward::WrongInterface
+            }
+            Some(e) => {
+                self.counters.forwarded += 1;
+                // Defensive: never reflect out the arrival interface.
+                Forward::To(e.oif_mask() & !(1u32 << in_iface))
+            }
+        }
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fast-path memory consumed, in octets: `entries × 12` (Figure 5).
+    /// This is the quantity experiment E1 feeds to the §5.1 cost model.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * FIB_ENTRY_LEN
+    }
+
+    /// The drop/forward counters.
+    pub fn counters(&self) -> FibCounters {
+        self.counters
+    }
+
+    /// Iterate all entries.
+    pub fn iter(&self) -> impl Iterator<Item = &FibEntry> {
+        self.entries.values()
+    }
+
+    /// Channels present in the table.
+    pub fn channels(&self) -> impl Iterator<Item = Channel> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use express_wire::addr::Ipv4Addr;
+
+    fn chan(n: u32) -> Channel {
+        Channel::new(Ipv4Addr::new(10, 0, 0, 1), n).unwrap()
+    }
+
+    #[test]
+    fn forward_on_match() {
+        let mut fib = Fib::new();
+        fib.install(FibEntry::new(chan(1), 0, 0b0110).unwrap());
+        assert_eq!(fib.lookup(chan(1), 0), Forward::To(0b0110));
+        assert_eq!(fib.counters().forwarded, 1);
+    }
+
+    #[test]
+    fn count_and_drop_on_no_entry() {
+        let mut fib = Fib::new();
+        // An unauthorized sender S' sending to the same E as an existing
+        // channel matches nothing: (S',E) ≠ (S,E).
+        fib.install(FibEntry::new(chan(1), 0, 0b10).unwrap());
+        let rogue = Channel::new(Ipv4Addr::new(10, 9, 9, 9), 1).unwrap();
+        assert_eq!(fib.lookup(rogue, 0), Forward::NoEntry);
+        assert_eq!(fib.counters().no_entry_drops, 1);
+        assert_eq!(fib.counters().forwarded, 0);
+    }
+
+    #[test]
+    fn rpf_check_drops_wrong_interface() {
+        let mut fib = Fib::new();
+        fib.install(FibEntry::new(chan(2), 3, 0b1).unwrap());
+        assert_eq!(fib.lookup(chan(2), 1), Forward::WrongInterface);
+        assert_eq!(fib.counters().rpf_drops, 1);
+    }
+
+    #[test]
+    fn arrival_interface_excluded_from_output() {
+        let mut fib = Fib::new();
+        // oif mask erroneously includes the in_iface; lookup must mask it.
+        fib.install(FibEntry::new(chan(3), 2, 0b0111).unwrap());
+        assert_eq!(fib.lookup(chan(3), 2), Forward::To(0b0011));
+    }
+
+    #[test]
+    fn memory_accounting_is_twelve_bytes_per_entry() {
+        let mut fib = Fib::new();
+        for i in 0..100 {
+            fib.install(FibEntry::new(chan(i), 0, 1).unwrap());
+        }
+        assert_eq!(fib.len(), 100);
+        assert_eq!(fib.memory_bytes(), 1200);
+        fib.remove(chan(0)).unwrap();
+        assert_eq!(fib.memory_bytes(), 1188);
+    }
+
+    #[test]
+    fn install_replaces() {
+        let mut fib = Fib::new();
+        fib.install(FibEntry::new(chan(1), 0, 0b1).unwrap());
+        fib.install(FibEntry::new(chan(1), 0, 0b11).unwrap());
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.get(chan(1)).unwrap().oif_mask(), 0b11);
+    }
+
+    #[test]
+    fn mutate_in_place() {
+        let mut fib = Fib::new();
+        fib.install(FibEntry::new(chan(1), 0, 0).unwrap());
+        fib.get_mut(chan(1)).unwrap().add_oif(4).unwrap();
+        assert_eq!(fib.lookup(chan(1), 0), Forward::To(0b10000));
+    }
+}

@@ -1,0 +1,792 @@
+//! The EXPRESS host: the §2.1 service interface as a `netsim` agent.
+//!
+//! A host can simultaneously act as a **source** (allocating channels,
+//! installing keys, sending data, subcasting, running `CountQuery`) and a
+//! **subscriber** (`newSubscription` / `deleteSubscription`, answering
+//! count queries, receiving data). The harness drives it by scheduling
+//! [`HostAction`]s at simulated times and reads back the [`HostEvent`] log.
+//!
+//! Protocol behaviour implemented here:
+//!
+//! * `newSubscription(channel[, K])` sends an unsolicited `subscriberId`
+//!   Count of 1 toward the source via the RPF next hop (§3.2, Figure 3);
+//!   `deleteSubscription` sends a zero Count.
+//! * The *source* host is the root of its channels' trees: it receives
+//!   subscriberId Counts from its first-hop router, validates keys
+//!   installed via `channelKey` (§2.1), and answers with `CountResponse` —
+//!   routers cache the validated key on the way back down.
+//! * `CountQuery(channel, countId, timeout)` from the source flows down the
+//!   tree; the aggregated Count comes back as a [`HostEvent::CountResult`].
+//! * Subscribers answer `subscriberId` queries with 1 per subscription, and
+//!   application-defined countIds from values set by `SetAppValue`
+//!   (§2.2.1's votes: "a subscriber client could present an
+//!   application-specific dialog box ... when such a countId query
+//!   arrives").
+//! * `ALL_CHANNELS` general queries (UDP-mode refresh, §3.3) trigger
+//!   re-advertisement of every live subscription — no report suppression.
+
+use crate::channel::ChannelAllocator;
+use crate::packets::{self, Classified, EcmpMode};
+use crate::proactive::ErrorToleranceCurve;
+use express_wire::addr::{Channel, Ipv4Addr};
+use express_wire::ecmp::{ChannelKey, Count, CountId, CountQuery, CountResponse, EcmpMessage, ResponseStatus};
+use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::id::{IfaceId, NodeId};
+use netsim::stats::TrafficClass;
+use netsim::time::{SimDuration, SimTime};
+use netsim::Sim;
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Actions the harness can schedule on a host.
+#[derive(Debug, Clone)]
+pub enum HostAction {
+    /// `newSubscription(channel [, K])` (§2.1).
+    Subscribe {
+        /// The channel to join.
+        channel: Channel,
+        /// Authenticator for restricted channels.
+        key: Option<ChannelKey>,
+    },
+    /// `deleteSubscription(channel)`.
+    Unsubscribe {
+        /// The channel to leave.
+        channel: Channel,
+    },
+    /// Send `payload_len` octets of data on a channel this host sources.
+    SendData {
+        /// The channel (source must be this host for delivery to work —
+        /// sending on someone else's channel is exactly the §1 attack the
+        /// network counts-and-drops).
+        channel: Channel,
+        /// Payload size in octets.
+        payload_len: usize,
+    },
+    /// Subcast (§2.1): unicast an encapsulated channel packet to an
+    /// on-tree router, which decapsulates and forwards downstream only.
+    Subcast {
+        /// The channel.
+        channel: Channel,
+        /// The on-channel router to relay through.
+        via: Ipv4Addr,
+        /// Payload size.
+        payload_len: usize,
+    },
+    /// `CountQuery(channel, countId, timeout)` (§2.1).
+    CountQuery {
+        /// The channel to count on.
+        channel: Channel,
+        /// What to count.
+        count_id: CountId,
+        /// Collection timeout.
+        timeout: SimDuration,
+    },
+    /// `channelKey(channel, K)` (§2.1): restrict the channel.
+    InstallKey {
+        /// The channel this host sources.
+        channel: Channel,
+        /// The key subscribers must present.
+        key: ChannelKey,
+    },
+    /// Request proactive counting (§6) for a countId on a sourced channel.
+    EnableProactive {
+        /// The channel.
+        channel: Channel,
+        /// The count to maintain.
+        count_id: CountId,
+        /// The error-tolerance curve.
+        curve: ErrorToleranceCurve,
+    },
+    /// Set this host's answer to an application-defined countId (a vote).
+    SetAppValue {
+        /// The application countId.
+        count_id: CountId,
+        /// The value to report.
+        value: u64,
+    },
+}
+
+/// Everything observable that happened at a host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostEvent {
+    /// Channel data arrived for a subscribed channel.
+    DataReceived {
+        /// When.
+        at: SimTime,
+        /// On which channel.
+        channel: Channel,
+        /// Payload size.
+        payload_len: usize,
+    },
+    /// The aggregated answer to a CountQuery this host issued.
+    CountResult {
+        /// When the (possibly partial) result arrived or timed out.
+        at: SimTime,
+        /// The channel queried.
+        channel: Channel,
+        /// The countId queried.
+        count_id: CountId,
+        /// The aggregated value.
+        count: u64,
+    },
+    /// The network's verdict on a subscription (auth channels) —
+    /// the `result` of `newSubscription` (§2.1).
+    SubscriptionResult {
+        /// When.
+        at: SimTime,
+        /// The channel.
+        channel: Channel,
+        /// Accepted?
+        ok: bool,
+    },
+    /// A subscriberId Count reached this host as the channel source: the
+    /// root's live view of the tree (the proactive-counting estimate of
+    /// Figure 8 is this series).
+    SubscriberEstimate {
+        /// When.
+        at: SimTime,
+        /// The channel.
+        channel: Channel,
+        /// The first-hop router's reported subtree count.
+        count: u64,
+    },
+    /// A proactively-maintained count (§6) update reached this source host:
+    /// the live network-aggregated value for a non-subscriber countId
+    /// (e.g. a running vote tally).
+    MaintainedCount {
+        /// When.
+        at: SimTime,
+        /// The channel.
+        channel: Channel,
+        /// The maintained countId.
+        count_id: CountId,
+        /// The aggregated value.
+        count: u64,
+    },
+    /// An application-defined count query was delivered to this subscriber
+    /// (§2.2.1's dialog-box hook).
+    AppQueryDelivered {
+        /// When.
+        at: SimTime,
+        /// The channel.
+        channel: Channel,
+        /// The countId.
+        count_id: CountId,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Subscription {
+    key: Option<ChannelKey>,
+    confirmed: bool,
+    /// countIds the source maintains proactively (§6 installs seen on this
+    /// channel): value changes are pushed upstream unsolicited.
+    proactive_ids: Vec<CountId>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SourceState {
+    key: Option<ChannelKey>,
+    /// Latest subscriberId count received from the first-hop router.
+    last_estimate: u64,
+    /// Hosts on the source's own LAN subscribed directly with us (their
+    /// RPF next hop toward the source *is* the source, so no router holds
+    /// state for them; the source tracks and counts them itself).
+    direct_subs: std::collections::HashSet<Ipv4Addr>,
+}
+
+/// The EXPRESS host agent.
+pub struct ExpressHost {
+    actions: HashMap<u64, HostAction>,
+    next_action_token: u64,
+    subscriptions: HashMap<Channel, Subscription>,
+    sourced: HashMap<Channel, SourceState>,
+    app_values: HashMap<CountId, u64>,
+    pending_queries: HashMap<(Channel, CountId), crate::counting::PendingCount>,
+    query_gen: u64,
+    /// The observable event log.
+    pub events: Vec<HostEvent>,
+    /// Local channel allocation database (created lazily with the host IP).
+    allocator: Option<ChannelAllocator>,
+}
+
+/// Action tokens live above this bound; below are internal timers.
+const ACTION_TOKEN_BASE: u64 = 1 << 32;
+/// Internal timer: query deadline; low bits hold the generation.
+const TIMER_QUERY_DEADLINE: u64 = 1 << 20;
+
+impl Default for ExpressHost {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExpressHost {
+    /// A fresh host.
+    pub fn new() -> Self {
+        ExpressHost {
+            actions: HashMap::new(),
+            next_action_token: ACTION_TOKEN_BASE,
+            subscriptions: HashMap::new(),
+            sourced: HashMap::new(),
+            app_values: HashMap::new(),
+            pending_queries: HashMap::new(),
+            query_gen: 0,
+            events: Vec::new(),
+            allocator: None,
+        }
+    }
+
+    /// Schedule `action` on the host at `node` at absolute simulated time
+    /// `at`. The standard way harnesses drive scenarios.
+    ///
+    /// Panics if `node`'s agent is not an `ExpressHost`.
+    pub fn schedule(sim: &mut Sim, node: NodeId, at: SimTime, action: HostAction) {
+        let host = sim
+            .agent_as::<ExpressHost>(node)
+            .expect("node agent is not an ExpressHost");
+        let token = host.next_action_token;
+        host.next_action_token += 1;
+        host.actions.insert(token, action);
+        sim.schedule_timer_at(node, at, token);
+    }
+
+    /// Allocate a channel from this host's local database (§2.2.1). Usable
+    /// before the simulation starts; the source address must be supplied
+    /// because the agent has no `Ctx` yet.
+    pub fn allocate_channel(&mut self, my_ip: Ipv4Addr) -> Channel {
+        self.allocator
+            .get_or_insert_with(|| ChannelAllocator::new(my_ip))
+            .allocate()
+            .expect("channel space exhausted")
+    }
+
+    /// Channels this host is currently subscribed to.
+    pub fn subscribed_channels(&self) -> Vec<Channel> {
+        self.subscriptions.keys().copied().collect()
+    }
+
+    /// Is a subscription to `channel` live (and, for auth channels,
+    /// confirmed)?
+    pub fn is_subscribed(&self, channel: Channel) -> bool {
+        self.subscriptions.contains_key(&channel)
+    }
+
+    /// Data packets received on `channel`.
+    pub fn data_received(&self, channel: Channel) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, HostEvent::DataReceived { channel: c, .. } if *c == channel))
+            .count()
+    }
+
+    /// The series of subscriber estimates seen at this (source) host —
+    /// Figure 8's "estimated size" line.
+    pub fn estimate_series(&self, channel: Channel) -> Vec<(SimTime, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                HostEvent::SubscriberEstimate { at, channel: c, count } if *c == channel => {
+                    Some((*at, *count))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The series of §6 maintained-count updates for `(channel, count_id)`
+    /// seen at this source host (e.g. the live vote tally).
+    pub fn maintained_series(&self, channel: Channel, count_id: CountId) -> Vec<(SimTime, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                HostEvent::MaintainedCount {
+                    at,
+                    channel: c,
+                    count_id: id,
+                    count,
+                } if *c == channel && *id == count_id => Some((*at, *count)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Count results received by this host.
+    pub fn count_results(&self) -> Vec<(SimTime, Channel, CountId, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                HostEvent::CountResult {
+                    at,
+                    channel,
+                    count_id,
+                    count,
+                } => Some((*at, *channel, *count_id, *count)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    /// First-hop (iface, neighbor address) toward `dst`; hosts usually have
+    /// a single interface.
+    fn first_hop(&self, ctx: &mut Ctx<'_>, dst: Ipv4Addr) -> Option<(IfaceId, Ipv4Addr)> {
+        ctx.next_hop_ip(dst).map(|h| (h.iface, ctx.ip_of(h.next)))
+    }
+
+    /// The attached router (for queries this host originates as a source:
+    /// the tree hangs entirely below the first-hop router).
+    fn attached_router(&self, ctx: &mut Ctx<'_>) -> Option<(IfaceId, Ipv4Addr)> {
+        for (iface, n) in ctx.neighbors() {
+            if ctx.topology().kind(n) == netsim::NodeKind::Router {
+                return Some((iface, ctx.ip_of(n)));
+            }
+        }
+        None
+    }
+
+    fn send_ecmp(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, to: Ipv4Addr, msg: EcmpMessage) {
+        // Hosts speak UDP-mode ECMP (§3.2: edge routers face "many
+        // neighboring end hosts").
+        let pkt = packets::ecmp_unicast(ctx.my_ip(), to, EcmpMode::Udp, &[msg]);
+        let tx = match ctx.resolve(to) {
+            Some(node) => Tx::To(node),
+            None => Tx::AllOnLink,
+        };
+        ctx.send(iface, &pkt, TrafficClass::Control, Reliability::Datagram, tx);
+        ctx.count("host.ecmp_tx", 1);
+    }
+
+    fn do_action(&mut self, ctx: &mut Ctx<'_>, action: HostAction) {
+        match action {
+            HostAction::Subscribe { channel, key } => {
+                let at = ctx.now();
+                // No unicast route to the source ⇒ newSubscription fails
+                // immediately (§2.1's result parameter).
+                let Some((iface, up)) = self.first_hop(ctx, channel.source) else {
+                    self.events.push(HostEvent::SubscriptionResult { at, channel, ok: false });
+                    return;
+                };
+                self.subscriptions.insert(
+                    channel,
+                    Subscription {
+                        key,
+                        confirmed: key.is_none(),
+                        proactive_ids: Vec::new(),
+                    },
+                );
+                if key.is_none() {
+                    self.events.push(HostEvent::SubscriptionResult { at, channel, ok: true });
+                }
+                let msg = EcmpMessage::from(Count {
+                    channel,
+                    count_id: CountId::SUBSCRIBERS,
+                    count: 1,
+                    key,
+                });
+                self.send_ecmp(ctx, iface, up, msg);
+            }
+            HostAction::Unsubscribe { channel } => {
+                if self.subscriptions.remove(&channel).is_some() {
+                    if let Some((iface, up)) = self.first_hop(ctx, channel.source) {
+                        let msg = EcmpMessage::from(Count {
+                            channel,
+                            count_id: CountId::SUBSCRIBERS,
+                            count: 0,
+                            key: None,
+                        });
+                        self.send_ecmp(ctx, iface, up, msg);
+                    }
+                }
+            }
+            HostAction::SendData { channel, payload_len } => {
+                let pkt = packets::channel_data(channel, payload_len, packets::DEFAULT_TTL);
+                // Out every interface (hosts have one); the network enforces
+                // the single-source rule, not the sender.
+                ctx.send(IfaceId(0), &pkt, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
+                ctx.count("host.data_tx", 1);
+            }
+            HostAction::Subcast { channel, via, payload_len } => {
+                let inner = packets::channel_data(channel, payload_len, packets::DEFAULT_TTL);
+                if let Ok(pkt) =
+                    express_wire::encap::encapsulate(ctx.my_ip(), via, packets::DEFAULT_TTL, &inner)
+                {
+                    if let Some((iface, next)) = self.first_hop(ctx, via) {
+                        let tx = ctx.resolve(next).map(Tx::To).unwrap_or(Tx::AllOnLink);
+                        ctx.send(iface, &pkt, TrafficClass::Data, Reliability::Datagram, tx);
+                        ctx.count("host.subcast_tx", 1);
+                    }
+                }
+            }
+            HostAction::CountQuery {
+                channel,
+                count_id,
+                timeout,
+            } => {
+                if let Some((iface, router)) = self.attached_router(ctx) {
+                    self.query_gen += 1;
+                    let generation = self.query_gen;
+                    // Await the router's aggregate plus each direct (own-LAN)
+                    // subscriber, who has no router state to be counted in.
+                    let mut awaited = vec![router];
+                    if !count_id.is_network_layer() {
+                        if let Some(st) = self.sourced.get(&channel) {
+                            awaited.extend(st.direct_subs.iter().copied());
+                        }
+                    }
+                    let deadline = ctx.now() + timeout;
+                    self.pending_queries.insert(
+                        (channel, count_id),
+                        crate::counting::PendingCount::new(
+                            awaited.clone(),
+                            0,
+                            crate::counting::ReplyTo::Local,
+                            deadline,
+                            generation,
+                        ),
+                    );
+                    let msg = EcmpMessage::from(CountQuery {
+                        channel,
+                        count_id,
+                        timeout_ms: timeout.millis() as u32,
+                        proactive: None,
+                    });
+                    for dest in awaited {
+                        self.send_ecmp(ctx, iface, dest, msg);
+                    }
+                    // Deadline: deliver whatever arrived (possibly partial).
+                    ctx.set_timer(timeout + SimDuration::from_millis(100), TIMER_QUERY_DEADLINE + generation);
+                }
+            }
+            HostAction::InstallKey { channel, key } => {
+                self.sourced.entry(channel).or_default().key = Some(key);
+            }
+            HostAction::EnableProactive {
+                channel,
+                count_id,
+                curve,
+            } => {
+                if let Some((iface, router)) = self.attached_router(ctx) {
+                    let msg = EcmpMessage::from(CountQuery {
+                        channel,
+                        count_id,
+                        timeout_ms: 0,
+                        proactive: Some(curve.to_wire()),
+                    });
+                    self.send_ecmp(ctx, iface, router, msg);
+                }
+            }
+            HostAction::SetAppValue { count_id, value } => {
+                self.app_values.insert(count_id, value);
+                // Push the new value unsolicited on every subscribed channel
+                // whose source maintains this count proactively (§6): the
+                // vote change flows toward the source through the routers'
+                // error-tolerance curves.
+                let targets: Vec<(Channel, Option<ChannelKey>)> = self
+                    .subscriptions
+                    .iter()
+                    .filter(|(_, s)| s.proactive_ids.contains(&count_id))
+                    .map(|(c, s)| (*c, s.key))
+                    .collect();
+                for (channel, key) in targets {
+                    if let Some((iface, up)) = self.first_hop(ctx, channel.source) {
+                        let msg = EcmpMessage::from(Count {
+                            channel,
+                            count_id,
+                            count: value,
+                            key,
+                        });
+                        self.send_ecmp(ctx, iface, up, msg);
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_query(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, from: Ipv4Addr, q: CountQuery) {
+        if q.count_id == CountId::ALL_CHANNELS {
+            // General query: re-advertise every live subscription (§3.3);
+            // no report suppression.
+            let subs: Vec<(Channel, Option<ChannelKey>)> = self
+                .subscriptions
+                .iter()
+                .map(|(c, s)| (*c, s.key))
+                .collect();
+            for (channel, key) in subs {
+                let msg = EcmpMessage::from(Count {
+                    channel,
+                    count_id: CountId::SUBSCRIBERS,
+                    count: 1,
+                    key,
+                });
+                self.send_ecmp(ctx, iface, from, msg);
+            }
+            return;
+        }
+        if q.count_id == CountId::NEIGHBORS {
+            let msg = EcmpMessage::from(Count {
+                channel: q.channel,
+                count_id: CountId::NEIGHBORS,
+                count: 1,
+                key: None,
+            });
+            self.send_ecmp(ctx, iface, from, msg);
+            return;
+        }
+        // A proactive install (§6): remember the countId so later value
+        // changes are pushed unsolicited.
+        if q.proactive.is_some() {
+            if let Some(sub) = self.subscriptions.get_mut(&q.channel) {
+                if !sub.proactive_ids.contains(&q.count_id) {
+                    sub.proactive_ids.push(q.count_id);
+                }
+            }
+        }
+        // Per-channel queries only concern subscribed channels.
+        let Some(sub) = self.subscriptions.get(&q.channel) else { return };
+        let key = sub.key;
+        let value = if q.count_id == CountId::SUBSCRIBERS {
+            1
+        } else if q.count_id.is_application_defined() {
+            let at = ctx.now();
+            self.events.push(HostEvent::AppQueryDelivered {
+                at,
+                channel: q.channel,
+                count_id: q.count_id,
+            });
+            self.app_values.get(&q.count_id).copied().unwrap_or(0)
+        } else {
+            return; // network-layer counts never reach hosts (§3.1 fn. 3)
+        };
+        let msg = EcmpMessage::from(Count {
+            channel: q.channel,
+            count_id: q.count_id,
+            count: value,
+            key,
+        });
+        self.send_ecmp(ctx, iface, from, msg);
+    }
+
+    fn handle_count(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, from: Ipv4Addr, c: Count) {
+        let at = ctx.now();
+        // Reply to an outstanding query this host initiated?
+        let mut consumed = false;
+        if let Some(pc) = self.pending_queries.get_mut(&(c.channel, c.count_id)) {
+            if pc.record(from, c.count) {
+                consumed = true;
+                if pc.complete() {
+                    let total = pc.total();
+                    self.pending_queries.remove(&(c.channel, c.count_id));
+                    self.events.push(HostEvent::CountResult {
+                        at,
+                        channel: c.channel,
+                        count_id: c.count_id,
+                        count: total,
+                    });
+                }
+            }
+        }
+        if consumed && c.count_id != CountId::SUBSCRIBERS {
+            return;
+        }
+        // Generic maintained counts arriving at the source (§6).
+        if c.count_id != CountId::SUBSCRIBERS && c.channel.source == ctx.my_ip() {
+            self.events.push(HostEvent::MaintainedCount {
+                at,
+                channel: c.channel,
+                count_id: c.count_id,
+                count: c.count,
+            });
+            return;
+        }
+        // subscriberId Counts arriving at the source: the root of the tree.
+        if c.count_id == CountId::SUBSCRIBERS && c.channel.source == ctx.my_ip() {
+            // A Count arriving directly from a host (not a router) is an
+            // own-LAN subscriber joining/leaving directly with us.
+            let from_host = ctx
+                .resolve(from)
+                .map(|n| ctx.topology().kind(n) == netsim::NodeKind::Host)
+                .unwrap_or(false);
+            let st = self.sourced.entry(c.channel).or_default();
+            if from_host && !consumed {
+                if c.count == 0 {
+                    st.direct_subs.remove(&from);
+                } else {
+                    st.direct_subs.insert(from);
+                }
+            }
+            // Authentication authority (§2.1 channelKey): validate here.
+            let status = match (st.key, c.key) {
+                (Some(k), Some(pk)) if k == pk => ResponseStatus::Ok,
+                (Some(_), _) => ResponseStatus::InvalidAuthenticator,
+                (None, _) => ResponseStatus::Ok,
+            };
+            if status == ResponseStatus::Ok {
+                st.last_estimate = c.count;
+                self.events.push(HostEvent::SubscriberEstimate {
+                    at,
+                    channel: c.channel,
+                    count: c.count,
+                });
+            }
+            // Answer only when the joiner presented a key (auth handshake);
+            // unauthenticated joins need no confirmation round-trip.
+            if c.key.is_some() {
+                let msg = EcmpMessage::from(CountResponse {
+                    channel: c.channel,
+                    count_id: c.count_id,
+                    status,
+                    key: c.key,
+                });
+                self.send_ecmp(ctx, iface, from, msg);
+            }
+        }
+    }
+
+    fn handle_response(&mut self, ctx: &mut Ctx<'_>, r: CountResponse) {
+        let at = ctx.now();
+        if let Some(sub) = self.subscriptions.get_mut(&r.channel) {
+            match r.status {
+                ResponseStatus::Ok => {
+                    if !sub.confirmed {
+                        sub.confirmed = true;
+                        self.events.push(HostEvent::SubscriptionResult {
+                            at,
+                            channel: r.channel,
+                            ok: true,
+                        });
+                    }
+                }
+                _ => {
+                    self.subscriptions.remove(&r.channel);
+                    self.events.push(HostEvent::SubscriptionResult {
+                        at,
+                        channel: r.channel,
+                        ok: false,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Send a subscription (`count = 1`) or unsubscription (`count = 0`) for
+/// `channel` toward its source via the RPF next hop — the §3.2 host-side
+/// primitive, exposed for agents (like the session-relay participants) that
+/// embed EXPRESS behaviour without being an [`ExpressHost`].
+pub fn send_subscription(ctx: &mut Ctx<'_>, channel: Channel, key: Option<ChannelKey>, subscribe: bool) -> bool {
+    let Some(hop) = ctx.next_hop_ip(channel.source) else {
+        return false;
+    };
+    let up = ctx.ip_of(hop.next);
+    let msg = EcmpMessage::from(Count {
+        channel,
+        count_id: CountId::SUBSCRIBERS,
+        count: u64::from(subscribe),
+        key: if subscribe { key } else { None },
+    });
+    let pkt = packets::ecmp_unicast(ctx.my_ip(), up, EcmpMode::Udp, &[msg]);
+    let tx = ctx.resolve(up).map(Tx::To).unwrap_or(Tx::AllOnLink);
+    ctx.send(hop.iface, &pkt, TrafficClass::Control, Reliability::Datagram, tx)
+}
+
+impl Agent for ExpressHost {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], _class: TrafficClass) {
+        let me = ctx.my_ip();
+        match packets::classify(bytes, me) {
+            Ok(Classified::ChannelData { channel, header })
+                if self.subscriptions.get(&channel).map(|s| s.confirmed).unwrap_or(false) => {
+                    let at = ctx.now();
+                    self.events.push(HostEvent::DataReceived {
+                        at,
+                        channel,
+                        payload_len: header.payload_len,
+                    });
+                    ctx.count("host.data_rx", 1);
+                }
+            Ok(Classified::Ecmp { from, messages, .. }) => {
+                for m in messages {
+                    match m {
+                        EcmpMessage::CountQuery(q) => self.handle_query(ctx, iface, from, q),
+                        EcmpMessage::Count(c) => self.handle_count(ctx, iface, from, c),
+                        EcmpMessage::CountResponse(r) => self.handle_response(ctx, r),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some(action) = self.actions.remove(&token) {
+            self.do_action(ctx, action);
+            return;
+        }
+        if token > TIMER_QUERY_DEADLINE && token < ACTION_TOKEN_BASE {
+            let generation = token - TIMER_QUERY_DEADLINE;
+            // Deadline: deliver the (possibly partial) totals of any query
+            // of this generation that has not completed.
+            let expired: Vec<(Channel, CountId)> = self
+                .pending_queries
+                .iter()
+                .filter(|(_, pc)| pc.generation == generation)
+                .map(|(k, _)| *k)
+                .collect();
+            let at = ctx.now();
+            for (channel, count_id) in expired {
+                let pc = self.pending_queries.remove(&(channel, count_id)).expect("listed");
+                self.events.push(HostEvent::CountResult {
+                    at,
+                    channel,
+                    count_id,
+                    count: pc.total(),
+                });
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_channels_locally() {
+        let mut h = ExpressHost::new();
+        let ip = Ipv4Addr::new(10, 0, 0, 7);
+        let c1 = h.allocate_channel(ip);
+        let c2 = h.allocate_channel(ip);
+        assert_ne!(c1, c2);
+        assert_eq!(c1.source, ip);
+    }
+
+    #[test]
+    fn event_query_helpers() {
+        let mut h = ExpressHost::new();
+        let c = Channel::new(Ipv4Addr::new(10, 0, 0, 1), 1).unwrap();
+        h.events.push(HostEvent::DataReceived {
+            at: SimTime(1),
+            channel: c,
+            payload_len: 10,
+        });
+        h.events.push(HostEvent::SubscriberEstimate {
+            at: SimTime(2),
+            channel: c,
+            count: 5,
+        });
+        h.events.push(HostEvent::CountResult {
+            at: SimTime(3),
+            channel: c,
+            count_id: CountId::SUBSCRIBERS,
+            count: 5,
+        });
+        assert_eq!(h.data_received(c), 1);
+        assert_eq!(h.estimate_series(c), vec![(SimTime(2), 5)]);
+        assert_eq!(h.count_results().len(), 1);
+    }
+}

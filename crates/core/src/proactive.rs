@@ -1,0 +1,270 @@
+//! Proactive counting (paper §6, Figures 7 and 8).
+//!
+//! For large, mostly-quiescent channels, polling every router is expensive;
+//! instead "receivers and routers proactively send Count messages upstream
+//! without requiring a CountQuery solicitation". A node sends an update when
+//! its current relative error exceeds an **error tolerance curve**
+//!
+//! ```text
+//! e_max(dt) = ln(tau / dt) / alpha          (0 < dt <= tau)
+//! ```
+//!
+//! where `dt` is the time since the node last advertised upstream. The curve
+//! starts high (big changes right after an update are tolerated briefly) and
+//! decays to zero at `dt = tau`, so **any** change is transmitted within
+//! `tau` — τ is the x-intercept, α the decay rate. "This curve was chosen to
+//! allow fast convergence during periods of large change while using little
+//! bandwidth during periods of little change."
+
+use express_wire::ecmp::ProactiveParams;
+use netsim::time::{SimDuration, SimTime};
+
+/// The error tolerance curve with parameters α and τ.
+///
+/// ```
+/// use express::proactive::ErrorToleranceCurve;
+///
+/// // The paper's Figure-7 curve: α = 4, τ = 120 s.
+/// let curve = ErrorToleranceCurve::paper(4.0);
+/// // Tolerated error decays from ∞ at dt=0 to 0 at dt=τ …
+/// assert!(curve.e_max(1.0) > curve.e_max(60.0));
+/// assert_eq!(curve.e_max(120.0), 0.0);
+/// // … so a 50% change is sent only once e_max falls below 0.5.
+/// assert!(ErrorToleranceCurve::relative_error(100, 150) > curve.e_max(40.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorToleranceCurve {
+    /// Decay rate α (> 0): higher α tolerates less error at a given dt,
+    /// tracking more closely at higher message cost (Figure 8's α=4 vs
+    /// α=2.5 comparison).
+    pub alpha: f64,
+    /// X-intercept τ in seconds: the maximum delay until any change is
+    /// transmitted upstream.
+    pub tau_secs: f64,
+}
+
+impl ErrorToleranceCurve {
+    /// Construct; panics if parameters are non-positive.
+    pub fn new(alpha: f64, tau_secs: f64) -> Self {
+        assert!(alpha > 0.0 && tau_secs > 0.0, "alpha and tau must be positive");
+        ErrorToleranceCurve { alpha, tau_secs }
+    }
+
+    /// The paper's Figure 7/8 parameters: τ=120 s with the given α.
+    pub fn paper(alpha: f64) -> Self {
+        Self::new(alpha, 120.0)
+    }
+
+    /// Convert to the wire representation carried in a proactive
+    /// `CountQuery`.
+    pub fn to_wire(self) -> ProactiveParams {
+        ProactiveParams {
+            alpha_milli: (self.alpha * 1000.0).round() as u32,
+            tau_ms: (self.tau_secs * 1000.0).round() as u32,
+        }
+    }
+
+    /// Reconstruct from the wire representation.
+    pub fn from_wire(p: ProactiveParams) -> Self {
+        Self::new(p.alpha(), p.tau_secs())
+    }
+
+    /// The maximum tolerated relative error `dt` seconds after the last
+    /// upstream advertisement. Infinite at dt=0, zero at and beyond τ.
+    pub fn e_max(&self, dt_secs: f64) -> f64 {
+        if dt_secs <= 0.0 {
+            f64::INFINITY
+        } else if dt_secs >= self.tau_secs {
+            0.0
+        } else {
+            (self.tau_secs / dt_secs).ln() / self.alpha
+        }
+    }
+
+    /// The relative error between the advertised and current counts:
+    /// `max(c_adv/c_cur, c_cur/c_adv) − 1`, with the conventions that equal
+    /// values (including 0,0) have error 0 and a transition to/from zero has
+    /// infinite error (it must always be reported within τ).
+    pub fn relative_error(c_advertised: u64, c_current: u64) -> f64 {
+        if c_advertised == c_current {
+            0.0
+        } else if c_advertised == 0 || c_current == 0 {
+            f64::INFINITY
+        } else {
+            let a = c_advertised as f64;
+            let c = c_current as f64;
+            (a / c).max(c / a) - 1.0
+        }
+    }
+
+    /// Should a node that advertised `c_advertised` at `last_sent` and now
+    /// holds `c_current` send an update at time `now`?
+    pub fn should_send(&self, c_advertised: u64, c_current: u64, last_sent: SimTime, now: SimTime) -> bool {
+        let e = Self::relative_error(c_advertised, c_current);
+        if e == 0.0 {
+            return false;
+        }
+        e > self.e_max(now.since(last_sent).secs_f64())
+    }
+
+    /// If not sending now, when should the pending error `e` next be
+    /// re-evaluated? Solves `e_max(dt*) = e` for `dt* = τ·exp(−α·e)`,
+    /// returning the *absolute* time `last_sent + dt*` (clamped to at most
+    /// `last_sent + τ`). Returns `None` when there is no pending change.
+    pub fn next_check_at(&self, c_advertised: u64, c_current: u64, last_sent: SimTime) -> Option<SimTime> {
+        let e = Self::relative_error(c_advertised, c_current);
+        if e == 0.0 {
+            return None;
+        }
+        let dt = if e.is_infinite() {
+            self.tau_secs
+        } else {
+            (self.tau_secs * (-self.alpha * e).exp()).min(self.tau_secs)
+        };
+        Some(last_sent + SimDuration::from_secs_f64(dt))
+    }
+}
+
+/// Per-(channel, countId) proactive aggregation state at one node: the sum
+/// of downstream advertisements plus the local contribution, against the
+/// value last advertised upstream.
+#[derive(Debug, Clone)]
+pub struct ProactiveState {
+    /// The curve in force (from the source's proactive CountQuery).
+    pub curve: ErrorToleranceCurve,
+    /// Value last sent upstream (`c_adv` in the paper's notation).
+    pub advertised: u64,
+    /// When it was sent.
+    pub last_sent: SimTime,
+    /// Monotone id so stale re-check timers are ignored.
+    pub generation: u64,
+}
+
+impl ProactiveState {
+    /// Fresh state: nothing advertised yet.
+    pub fn new(curve: ErrorToleranceCurve, now: SimTime) -> Self {
+        ProactiveState {
+            curve,
+            advertised: 0,
+            last_sent: now,
+            generation: 0,
+        }
+    }
+
+    /// Evaluate at `now` against the current aggregate: if the curve says
+    /// send, record the advertisement and return `Some(value_to_send)`;
+    /// otherwise return `None` (caller may schedule a re-check via
+    /// [`ErrorToleranceCurve::next_check_at`]).
+    pub fn evaluate(&mut self, current: u64, now: SimTime) -> Option<u64> {
+        if self.curve.should_send(self.advertised, current, self.last_sent, now) {
+            self.advertised = current;
+            self.last_sent = now;
+            self.generation += 1;
+            Some(current)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_shape_matches_figure7() {
+        // Figure 7: curves for (α, τ=120); e_max decays monotonically and
+        // crosses zero at τ.
+        let c = ErrorToleranceCurve::paper(4.0);
+        assert!(c.e_max(0.0).is_infinite());
+        let e10 = c.e_max(10.0);
+        let e30 = c.e_max(30.0);
+        let e60 = c.e_max(60.0);
+        assert!(e10 > e30 && e30 > e60 && e60 > 0.0);
+        assert_eq!(c.e_max(120.0), 0.0);
+        assert_eq!(c.e_max(1000.0), 0.0);
+        // Analytic check: e_max(30) = ln(120/30)/4 = ln(4)/4.
+        assert!((e30 - (4.0f64).ln() / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_alpha_tolerates_more_error() {
+        // Figure 8: α=2.5 lags more (tolerates more error) than α=4.
+        let tight = ErrorToleranceCurve::paper(4.0);
+        let loose = ErrorToleranceCurve::paper(2.5);
+        for dt in [1.0, 5.0, 20.0, 60.0, 100.0] {
+            assert!(loose.e_max(dt) > tight.e_max(dt));
+        }
+    }
+
+    #[test]
+    fn relative_error_symmetric() {
+        assert_eq!(ErrorToleranceCurve::relative_error(100, 100), 0.0);
+        assert!((ErrorToleranceCurve::relative_error(100, 150) - 0.5).abs() < 1e-12);
+        assert!((ErrorToleranceCurve::relative_error(150, 100) - 0.5).abs() < 1e-12);
+        assert!(ErrorToleranceCurve::relative_error(0, 5).is_infinite());
+        assert!(ErrorToleranceCurve::relative_error(5, 0).is_infinite());
+        assert_eq!(ErrorToleranceCurve::relative_error(0, 0), 0.0);
+    }
+
+    #[test]
+    fn any_change_sent_within_tau() {
+        let c = ErrorToleranceCurve::paper(4.0);
+        let t0 = SimTime::ZERO;
+        // Tiny change: 1000 -> 1001. Not sent immediately...
+        assert!(!c.should_send(1000, 1001, t0, t0 + SimDuration::from_secs(1)));
+        // ...but must be sent by tau.
+        assert!(c.should_send(1000, 1001, t0, t0 + SimDuration::from_secs(121)));
+    }
+
+    #[test]
+    fn big_change_sent_quickly() {
+        let c = ErrorToleranceCurve::paper(4.0);
+        let t0 = SimTime::ZERO;
+        // Doubling (e=1.0): e_max(dt)=1 at dt = 120·e^-4 ≈ 2.2s.
+        assert!(!c.should_send(100, 200, t0, t0 + SimDuration::from_secs(2)));
+        assert!(c.should_send(100, 200, t0, t0 + SimDuration::from_secs(3)));
+    }
+
+    #[test]
+    fn next_check_solves_curve() {
+        let c = ErrorToleranceCurve::paper(4.0);
+        let t0 = SimTime::ZERO;
+        // e = 1.0 → dt* = 120·e^{-4} ≈ 2.1972 s.
+        let at = c.next_check_at(100, 200, t0).unwrap();
+        assert!((at.secs_f64() - 120.0 * (-4.0f64).exp()).abs() < 1e-3);
+        // At that instant (plus epsilon) the send triggers.
+        assert!(c.should_send(100, 200, t0, at + SimDuration::from_millis(1)));
+        // No pending change → no check needed.
+        assert!(c.next_check_at(5, 5, t0).is_none());
+        // Zero-crossing change → check at tau.
+        let at = c.next_check_at(5, 0, t0).unwrap();
+        assert_eq!(at, t0 + SimDuration::from_secs(120));
+    }
+
+    #[test]
+    fn state_evaluate_advances() {
+        let mut s = ProactiveState::new(ErrorToleranceCurve::paper(4.0), SimTime::ZERO);
+        // First nonzero count: advertised=0 → infinite error, but e_max is
+        // also infinite at dt=0; shortly after, it sends.
+        let now = SimTime::ZERO + SimDuration::from_millis(100);
+        let sent = s.evaluate(50, now);
+        assert_eq!(sent, Some(50));
+        assert_eq!(s.advertised, 50);
+        assert_eq!(s.last_sent, now);
+        // Unchanged → no send ever.
+        assert_eq!(s.evaluate(50, now + SimDuration::from_secs(500)), None);
+        let g = s.generation;
+        // Small change right away → suppressed.
+        assert_eq!(s.evaluate(51, now + SimDuration::from_millis(200)), None);
+        assert_eq!(s.generation, g);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let c = ErrorToleranceCurve::new(2.5, 120.0);
+        let c2 = ErrorToleranceCurve::from_wire(c.to_wire());
+        assert!((c.alpha - c2.alpha).abs() < 1e-9);
+        assert!((c.tau_secs - c2.tau_secs).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,175 @@
+//! The FIB-memory cost model of Figure 6 and the §5.1 worked examples.
+//!
+//! ```text
+//! m  = FIB memory purchase cost per byte
+//! e  = bytes per FIB entry (12, Figure 5)
+//! ts = session duration
+//! tr = router lifetime
+//! u  = FIB utilization
+//!
+//! p_sr = m · e · ts / (tr · u)        — FIB cost of a session at one router
+//! c_s  ≤ k · n · h · p_sr             — whole-session bound: k channels,
+//!                                       n receivers, h hops (star worst case)
+//! ```
+//!
+//! The `1/u` term "accounts for the fact that the FIB must, on average,
+//! have unused entries to accommodate the peak demand".
+
+use serde::Serialize;
+
+/// Figure 6's parameters with the paper's published constants as defaults.
+///
+/// ```
+/// use express_cost::FibCostModel;
+///
+/// let model = FibCostModel::default();
+/// // The paper's 10-way conference: "less than eight cents".
+/// let conf = model.conference_example();
+/// assert!(conf.total_dollars < 0.08);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FibCostModel {
+    /// `m`: dollars per byte of fast-path SRAM. Paper: $55 per megabyte of
+    /// 4 ns SRAM (early-1998 quote, reference \[17\]) — 55 × 10⁻⁶ $/B.
+    pub dollars_per_byte: f64,
+    /// `e`: bytes per FIB entry (12, Figure 5).
+    pub entry_bytes: f64,
+    /// `tr`: router lifetime in seconds (paper: one year).
+    pub router_lifetime_s: f64,
+    /// `u`: average FIB utilization (paper: 1%).
+    pub utilization: f64,
+}
+
+impl Default for FibCostModel {
+    fn default() -> Self {
+        FibCostModel {
+            dollars_per_byte: 55e-6,
+            entry_bytes: 12.0,
+            router_lifetime_s: 365.0 * 24.0 * 3600.0, // 31,536,000 s
+            utilization: 0.01,
+        }
+    }
+}
+
+/// One evaluated scenario, for table printing.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct FibCostBreakdown {
+    /// Upper bound on FIB entries used network-wide (k·n·h or measured).
+    pub entries: f64,
+    /// Session duration in seconds.
+    pub session_s: f64,
+    /// Total session cost in dollars.
+    pub total_dollars: f64,
+    /// Cost per subscriber in dollars.
+    pub per_subscriber_dollars: f64,
+}
+
+impl FibCostModel {
+    /// The purchase price of one FIB entry, in dollars (`m·e`).
+    /// With the defaults: 12 B × $55/MB = $0.00066 — the paper's
+    /// "0.066 cents of memory".
+    pub fn entry_price(&self) -> f64 {
+        self.dollars_per_byte * self.entry_bytes
+    }
+
+    /// `p_sr`: the FIB cost of a session of `session_s` seconds at one
+    /// router (one entry).
+    pub fn per_entry_session_cost(&self, session_s: f64) -> f64 {
+        self.entry_price() * session_s / (self.router_lifetime_s * self.utilization)
+    }
+
+    /// The §5.1 session bound `c_s ≤ k·n·h·p_sr`: `k` channels, `n`
+    /// receivers each `h` hops away (the star worst case — "nh is an upper
+    /// bound; the number of FIB entries will be lower if there is sharing
+    /// in the multicast tree").
+    pub fn session_cost_bound(&self, k: u64, n: u64, h: u64, session_s: f64) -> FibCostBreakdown {
+        let entries = (k * n * h) as f64;
+        self.session_cost_entries(entries, n, session_s)
+    }
+
+    /// Evaluate with a *measured* network-wide FIB entry count (what the
+    /// simulated trees actually install — always ≤ the `n·h` bound).
+    pub fn session_cost_entries(&self, entries: f64, subscribers: u64, session_s: f64) -> FibCostBreakdown {
+        let total = entries * self.per_entry_session_cost(session_s);
+        FibCostBreakdown {
+            entries,
+            session_s,
+            total_dollars: total,
+            per_subscriber_dollars: if subscribers > 0 { total / subscribers as f64 } else { 0.0 },
+        }
+    }
+
+    /// §5.1's first worked example: "a ten subscriber channel ... the
+    /// fully-meshed 10-way conference with 10 channels", h = 25, 20 minutes.
+    pub fn conference_example(&self) -> FibCostBreakdown {
+        self.session_cost_bound(10, 10, 25, 20.0 * 60.0)
+    }
+
+    /// §5.1's second worked example: "a long-running stock ticker
+    /// application with 100,000 subscribers ... the multicast tree contains
+    /// approximately 200,000 links", evaluated for a full router lifetime
+    /// (yearly cost).
+    pub fn stock_ticker_example(&self) -> FibCostBreakdown {
+        self.session_cost_entries(200_000.0, 100_000, self.router_lifetime_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() <= rel * b.abs().max(1e-12)
+    }
+
+    #[test]
+    fn entry_price_is_0066_cents() {
+        let m = FibCostModel::default();
+        // Paper: "each 12 byte FIB entry uses 0.066 cents of memory".
+        assert!(close(m.entry_price(), 0.00066, 1e-9), "{}", m.entry_price());
+    }
+
+    #[test]
+    fn conference_under_eight_cents() {
+        let m = FibCostModel::default();
+        let c = m.conference_example();
+        assert_eq!(c.entries, 2500.0);
+        // Exact model value: 2500 × 0.00066 × 1200 / (31,536,000 × 0.01)
+        // = $0.00628 — comfortably "less than eight cents for the whole
+        // conference" and "about one cent per participant".
+        assert!(close(c.total_dollars, 0.00628, 0.01), "{}", c.total_dollars);
+        assert!(c.total_dollars < 0.08);
+        assert!(c.per_subscriber_dollars < 0.01);
+    }
+
+    #[test]
+    fn stock_ticker_yearly_cost() {
+        let m = FibCostModel::default();
+        let c = m.stock_ticker_example();
+        // 200,000 × $0.00066 / 0.01 = $13,200 per year; per subscriber
+        // $0.132/yr — trivially small against the paper's cable-TV
+        // comparison ($1.00 per potential viewer per MONTH).
+        assert!(close(c.total_dollars, 13_200.0, 1e-6), "{}", c.total_dollars);
+        assert!(close(c.per_subscriber_dollars, 0.132, 1e-6));
+        let cable_tv_per_viewer_year = 12.0;
+        assert!(c.per_subscriber_dollars < cable_tv_per_viewer_year / 50.0);
+    }
+
+    #[test]
+    fn measured_entries_never_exceed_bound() {
+        let m = FibCostModel::default();
+        let bound = m.session_cost_bound(1, 100, 25, 600.0);
+        let measured = m.session_cost_entries(1800.0, 100, 600.0); // shared tree
+        assert!(measured.total_dollars < bound.total_dollars);
+    }
+
+    #[test]
+    fn cost_scales_linearly_in_duration_and_entries() {
+        let m = FibCostModel::default();
+        let a = m.session_cost_entries(100.0, 10, 60.0).total_dollars;
+        let b = m.session_cost_entries(200.0, 10, 60.0).total_dollars;
+        let c = m.session_cost_entries(100.0, 10, 120.0).total_dollars;
+        assert!(close(b, 2.0 * a, 1e-12));
+        assert!(close(c, 2.0 * a, 1e-12));
+    }
+}

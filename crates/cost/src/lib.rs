@@ -1,0 +1,28 @@
+//! # express-cost
+//!
+//! The analytic cost and scalability models of the EXPRESS paper's §5 and
+//! §6, parameterized exactly as published so experiment E1–E3 can reproduce
+//! the paper's dollar figures and then re-evaluate them against *measured*
+//! state from the simulator.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`fib_cost`] | Figure 6's FIB-memory cost model and the §5.1 worked examples |
+//! | [`mgmt_state`] | §5.2 management-level (DRAM) state costs |
+//! | [`maintenance`] | §5.3 state-maintenance message/CPU arithmetic |
+//! | [`counting`] | §6 counting-overhead arithmetic |
+//! | [`relay`] | §4.5 session-relay capacity arithmetic |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counting;
+pub mod fib_cost;
+pub mod maintenance;
+pub mod mgmt_state;
+pub mod relay;
+
+pub use fib_cost::FibCostModel;
+pub use maintenance::MaintenanceModel;
+pub use mgmt_state::MgmtStateModel;
+pub use relay::RelayCapacityModel;

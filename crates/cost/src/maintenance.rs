@@ -1,0 +1,154 @@
+//! §5.3: the cost of state maintenance — Count message rates, TCP-mode
+//! batching, control bandwidth, and CPU utilization.
+//!
+//! The paper's scenario: "a router with one million active channels, where
+//! each channel's active lifetime is 20 minutes ... average fanout of a
+//! channel is two. In this scenario, the router receives four million Count
+//! messages every 20 minutes, and sends two million ... approximately 5000
+//! Count events per second."
+
+use serde::Serialize;
+
+/// The §5.3 message-rate/CPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MaintenanceModel {
+    /// Active channels at the router.
+    pub channels: u64,
+    /// Channel active lifetime in seconds (paper: 20 minutes).
+    pub lifetime_s: f64,
+    /// Average downstream fanout (paper: 2).
+    pub fanout: u64,
+    /// Size of one Count message on the wire (paper: 16 bytes; this
+    /// implementation's compact Count is 22).
+    pub count_bytes: u64,
+    /// TCP segment payload budget (paper: 1480 bytes on Ethernet).
+    pub segment_bytes: u64,
+    /// CPU frequency in Hz (paper: 400 MHz Pentium-II).
+    pub cpu_hz: f64,
+    /// Measured cycles per subscribe/unsubscribe event (paper: ~5000).
+    pub cycles_per_event: f64,
+}
+
+impl Default for MaintenanceModel {
+    fn default() -> Self {
+        MaintenanceModel {
+            channels: 1_000_000,
+            lifetime_s: 20.0 * 60.0,
+            fanout: 2,
+            count_bytes: 16,
+            segment_bytes: 1480,
+            cpu_hz: 400e6,
+            cycles_per_event: 5000.0,
+        }
+    }
+}
+
+/// Evaluated rates for one configuration.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MaintenanceRates {
+    /// Count messages received per second.
+    pub rx_per_sec: f64,
+    /// Count messages sent per second.
+    pub tx_per_sec: f64,
+    /// Total Count events per second.
+    pub events_per_sec: f64,
+    /// Count messages that fit one TCP segment.
+    pub counts_per_segment: u64,
+    /// Received control segments per second (TCP batching).
+    pub rx_segments_per_sec: f64,
+    /// Received control bandwidth in kilobits per second.
+    pub rx_kbps: f64,
+    /// CPU utilization fraction at `cycles_per_event`.
+    pub cpu_utilization: f64,
+}
+
+impl MaintenanceModel {
+    /// Evaluate the model. Each channel contributes one subscribe and one
+    /// unsubscribe per lifetime on each of `fanout` downstream neighbors
+    /// (received) and one of each upstream (sent).
+    pub fn rates(&self) -> MaintenanceRates {
+        let per_channel_rx = 2.0 * self.fanout as f64; // sub + unsub per downstream
+        let per_channel_tx = 2.0; // sub + unsub upstream
+        let rx_per_sec = self.channels as f64 * per_channel_rx / self.lifetime_s;
+        let tx_per_sec = self.channels as f64 * per_channel_tx / self.lifetime_s;
+        let events_per_sec = rx_per_sec + tx_per_sec;
+        let counts_per_segment = self.segment_bytes / self.count_bytes;
+        let rx_segments_per_sec = rx_per_sec / counts_per_segment as f64;
+        let rx_kbps = rx_segments_per_sec * self.segment_bytes as f64 * 8.0 / 1000.0;
+        let cpu_utilization = events_per_sec * self.cycles_per_event / self.cpu_hz;
+        MaintenanceRates {
+            rx_per_sec,
+            tx_per_sec,
+            events_per_sec,
+            counts_per_segment,
+            rx_segments_per_sec,
+            rx_kbps,
+            cpu_utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn million_channel_scenario_matches_paper() {
+        let r = MaintenanceModel::default().rates();
+        // "receives four million Count messages every 20 minutes"
+        assert!((r.rx_per_sec - 3333.3).abs() < 1.0, "{}", r.rx_per_sec);
+        // "and sends two million"
+        assert!((r.tx_per_sec - 1666.7).abs() < 1.0);
+        // "approximately 5000 Count events per second"
+        assert!((r.events_per_sec - 5000.0).abs() < 1.0);
+        // "approximately 92 16-byte Count messages fit in a 1480-byte
+        // maximum-sized TCP segment"
+        assert_eq!(r.counts_per_segment, 92);
+        // "a router would receive 36 (3333/92) data segments, or 424
+        // kilobits per second of control traffic"
+        assert!((r.rx_segments_per_sec - 36.2).abs() < 0.3);
+        assert!((r.rx_kbps - 424.0).abs() < 15.0, "{}", r.rx_kbps);
+    }
+
+    #[test]
+    fn cpu_utilization_shape() {
+        // At the measured ~5000 cycles/event and 5000 events/s the CPU
+        // utilization on the 400 MHz machine is ~6% — the paper's figure
+        // after adding the FIB-manipulation penalty.
+        let r = MaintenanceModel::default().rates();
+        assert!(r.cpu_utilization > 0.05 && r.cpu_utilization < 0.08, "{}", r.cpu_utilization);
+    }
+
+    #[test]
+    fn measured_rate_4500_events_at_3500_cycles_is_4_percent() {
+        // The paper's measured point: "4,500 incoming events per second ...
+        // used four percent of the CPU ... or approximately 3500 cycles
+        // per event".
+        let m = MaintenanceModel {
+            cycles_per_event: 3500.0,
+            ..Default::default()
+        };
+        let util = 4500.0 * m.cycles_per_event / m.cpu_hz;
+        assert!((util - 0.04).abs() < 0.001, "{util}");
+    }
+
+    #[test]
+    fn linear_in_channels() {
+        let a = MaintenanceModel {
+            channels: 100_000,
+            ..Default::default()
+        }
+        .rates();
+        let b = MaintenanceModel::default().rates();
+        assert!((b.events_per_sec / a.events_per_sec - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn this_implementations_count_size_packs_67_per_segment() {
+        let m = MaintenanceModel {
+            count_bytes: 22, // express-wire's compact Count
+            ..Default::default()
+        };
+        assert_eq!(m.rates().counts_per_segment, 67);
+    }
+}

@@ -1,0 +1,98 @@
+//! §5.2: the cost of management-level (process/DRAM) router state.
+//!
+//! "The state required for each count activity is roughly 16 bytes, namely
+//! [channel, countId, count] plus various implementation fields. If we
+//! further double this size to 32 bytes ..., assume an average fan-out of 2
+//! (so three records including the upstream record) and assume 2 counts
+//! outstanding at any time on a channel, the DRAM memory cost per channel
+//! is 192 bytes ... Adding another eight bytes to store K(S,E), the total
+//! size is 200 bytes."
+
+use serde::Serialize;
+
+/// The §5.2 management-state model with the paper's constants as defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MgmtStateModel {
+    /// Bytes per count record including implementation fields (paper: 32,
+    /// doubling the 16-byte [channel, countId, count] triple).
+    pub record_bytes: u64,
+    /// Records per channel: fanout + 1 upstream (paper: fanout 2 ⇒ 3).
+    pub records_per_channel: u64,
+    /// Simultaneously outstanding counts per channel (paper: 2).
+    pub outstanding_counts: u64,
+    /// Bytes for the cached channel key (paper: 8).
+    pub key_bytes: u64,
+    /// DRAM price in dollars per byte (paper: $1.00 per megabyte).
+    pub dollars_per_byte: f64,
+}
+
+impl Default for MgmtStateModel {
+    fn default() -> Self {
+        MgmtStateModel {
+            record_bytes: 32,
+            records_per_channel: 3,
+            outstanding_counts: 2,
+            key_bytes: 8,
+            dollars_per_byte: 1e-6,
+        }
+    }
+}
+
+impl MgmtStateModel {
+    /// Bytes of management state per channel. Defaults: 32×3×2 + 8 = 200.
+    pub fn bytes_per_channel(&self) -> u64 {
+        self.record_bytes * self.records_per_channel * self.outstanding_counts + self.key_bytes
+    }
+
+    /// Dollar cost per channel over the router lifetime.
+    /// Defaults: 200 B × $1/MB = $0.0002 — "less than 1/50-th of a cent".
+    pub fn dollars_per_channel(&self) -> f64 {
+        self.bytes_per_channel() as f64 * self.dollars_per_byte
+    }
+
+    /// Total DRAM bytes for `channels` concurrent channels — the linear
+    /// scaling §5's conclusion claims ("growing linearly with the number of
+    /// channels").
+    pub fn total_bytes(&self, channels: u64) -> u64 {
+        self.bytes_per_channel() * channels
+    }
+
+    /// Total dollars for `channels` concurrent channels.
+    pub fn total_dollars(&self, channels: u64) -> f64 {
+        self.dollars_per_channel() * channels as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_give_200_bytes() {
+        let m = MgmtStateModel::default();
+        assert_eq!(m.bytes_per_channel(), 200);
+    }
+
+    #[test]
+    fn under_one_fiftieth_cent_per_channel() {
+        let m = MgmtStateModel::default();
+        let cents = m.dollars_per_channel() * 100.0;
+        assert!(cents < 1.0 / 50.0, "{cents} cents");
+    }
+
+    #[test]
+    fn million_channels_is_modest() {
+        let m = MgmtStateModel::default();
+        // §5.3's million-channel router: 200 MB of DRAM, $200 of memory —
+        // "negligible ... even if our cost model is off by several orders
+        // of magnitude".
+        assert_eq!(m.total_bytes(1_000_000), 200_000_000);
+        assert!((m.total_dollars(1_000_000) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_scaling() {
+        let m = MgmtStateModel::default();
+        assert_eq!(m.total_bytes(10) * 10, m.total_bytes(100));
+    }
+}

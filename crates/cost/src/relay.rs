@@ -1,0 +1,74 @@
+//! §4.5: session-relay capacity arithmetic.
+//!
+//! "Each low-cost PC today is capable of forwarding data at a rate in
+//! excess of 100 Mbps, fast enough to serve dozens of compressed
+//! broadcast-quality video streams (3–6 Mbps) or thousands of CD-quality
+//! audio streams (100 Kbps) on one session relay ... A given network can
+//! add relay points as necessary to scale the 'SR capacity' of an
+//! enterprise network."
+
+use serde::Serialize;
+
+/// The SR capacity model with the paper's 1999 constants as defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RelayCapacityModel {
+    /// Forwarding rate of one SR host in bits per second (paper: 100 Mb/s).
+    pub forwarding_bps: f64,
+}
+
+impl Default for RelayCapacityModel {
+    fn default() -> Self {
+        RelayCapacityModel {
+            forwarding_bps: 100e6,
+        }
+    }
+}
+
+impl RelayCapacityModel {
+    /// How many streams of `stream_bps` one SR serves.
+    pub fn streams(&self, stream_bps: f64) -> u64 {
+        (self.forwarding_bps / stream_bps) as u64
+    }
+
+    /// Relays needed for `n_streams` streams of `stream_bps` each — the
+    /// "add relay points as necessary" scaling rule.
+    pub fn relays_needed(&self, n_streams: u64, stream_bps: f64) -> u64 {
+        let per = self.streams(stream_bps).max(1);
+        n_streams.div_ceil(per)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        let m = RelayCapacityModel::default();
+        // "dozens of compressed broadcast-quality video streams (3-6 Mbps)"
+        let video_lo = m.streams(6e6);
+        let video_hi = m.streams(3e6);
+        assert!((12..=40).contains(&video_lo), "{video_lo}");
+        assert!((24..=40).contains(&video_hi), "{video_hi}");
+        // "thousands of CD-quality audio streams (100 Kbps)"
+        assert_eq!(m.streams(100e3), 1000);
+    }
+
+    #[test]
+    fn scaling_rule() {
+        let m = RelayCapacityModel::default();
+        // A 100-site enterprise conference at 4 Mb/s: 100/25 = 4 relays.
+        assert_eq!(m.relays_needed(100, 4e6), 4);
+        assert_eq!(m.relays_needed(1, 4e6), 1);
+        assert_eq!(m.relays_needed(0, 4e6), 0);
+    }
+
+    #[test]
+    fn modern_hardware_headroom() {
+        // A 10 Gb/s host serves 100x the paper's figure.
+        let modern = RelayCapacityModel {
+            forwarding_bps: 10e9,
+        };
+        assert_eq!(modern.streams(100e3), 100_000);
+    }
+}

@@ -1,0 +1,2 @@
+#![allow(missing_docs)]
+//! Example-carrier crate; see the workspace examples/ directory.

@@ -1,0 +1,85 @@
+//! Typed identifiers for simulation entities.
+//!
+//! Newtypes rather than bare integers so the borrow checker catches
+//! node-vs-link-vs-interface mixups at compile time.
+
+use core::fmt;
+
+/// Identifies a node (router or host) in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifies one of a node's network interfaces (0..32, the bound imposed
+/// by the paper's Figure 5 FIB entry format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IfaceId(pub u8);
+
+/// Identifies a link (point-to-point or multi-access LAN segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// Identifies a reliable stream connection between two neighbors
+/// (the ECMP TCP mode of the paper's §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+impl NodeId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl IfaceId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for IfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "if{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{}", IfaceId(1)), "if1");
+        assert_eq!(format!("{}", LinkId(9)), "l9");
+        assert_eq!(format!("{}", ConnId(2)), "c2");
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(IfaceId(2).index(), 2);
+        assert_eq!(LinkId(5).index(), 5);
+    }
+}

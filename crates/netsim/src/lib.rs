@@ -1,0 +1,41 @@
+//! # netsim
+//!
+//! A deterministic discrete-event network simulator: the substrate on which
+//! the EXPRESS reproduction runs. The paper's protocols were designed for
+//! real IPv4 routers; here routers, hosts, interfaces, links and LANs are
+//! simulated, but the *protocol code* (in the `express`, `mcast-baselines`
+//! and `session-relay` crates) exchanges genuine wire-format datagrams built
+//! by `express-wire`.
+//!
+//! Design points, following the event-driven style of embedded TCP/IP stacks:
+//!
+//! * **Determinism.** A single seeded RNG, a total order on events
+//!   (time, then insertion sequence), and no wall-clock access anywhere.
+//!   The same seed always reproduces the same run.
+//! * **The unicast substrate is first-class.** ECMP's routing component
+//!   "relies on, and scales with, existing unicast topology information"
+//!   (paper §3); [`routing::Routing`] computes shortest-path next hops and
+//!   the reverse-path-forwarding (RPF) interface every protocol here uses.
+//! * **Two neighbor transports.** Lossy datagram delivery, and a reliable
+//!   single-hop stream ([`transport`]) modelling ECMP's TCP mode: in-order,
+//!   loss-free, with connection-failure notification when the link dies.
+//!
+//! The simulation loop dispatches to user protocol logic through the
+//! [`engine::Agent`] trait; see the `express` crate for the canonical agents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod id;
+pub mod routing;
+pub mod stats;
+pub mod time;
+pub mod topogen;
+pub mod topology;
+pub mod transport;
+
+pub use engine::{Agent, Ctx, Sim, TimerToken};
+pub use id::{IfaceId, LinkId, NodeId};
+pub use time::{SimDuration, SimTime};
+pub use topology::{LinkSpec, NodeKind, Topology};

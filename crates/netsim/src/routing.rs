@@ -1,0 +1,295 @@
+//! Unicast routing: per-node shortest-path next-hop tables and the
+//! reverse-path-forwarding (RPF) lookup.
+//!
+//! The paper's §3 leans on exactly this substrate: "explicit source
+//! specification allows reverse-path forwarding (RPF) to be used to route
+//! subscriptions and unsubscriptions toward the source ... The RPF routing
+//! component of ECMP relies on, and scales with, existing unicast topology
+//! information." [`Routing::rpf`] answers *which interface (and which
+//! upstream neighbor) leads toward a given source* — the only question
+//! ECMP, PIM's source joins and CBT's core joins ever ask.
+//!
+//! Shortest paths are computed with Dijkstra per origin node, minimizing the
+//! sum of link metrics with deterministic tie-breaking (lowest neighbor id
+//! wins), and cached until [`Routing::invalidate`] (called by the engine on
+//! every link up/down transition).
+
+use crate::id::{IfaceId, NodeId};
+use crate::topology::Topology;
+use express_wire::addr::Ipv4Addr;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A next-hop decision: leave through `iface` toward neighbor `next`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextHop {
+    /// The local outgoing interface.
+    pub iface: IfaceId,
+    /// The neighbor on that interface that is the next hop.
+    pub next: NodeId,
+    /// Total path metric to the destination.
+    pub metric: u32,
+}
+
+/// Cached shortest-path routing state.
+#[derive(Debug, Default)]
+pub struct Routing {
+    /// Per-origin table: `tables[origin][dest] = NextHop` (None if
+    /// unreachable or dest == origin).
+    tables: HashMap<NodeId, Vec<Option<NextHop>>>,
+    generation: u64,
+}
+
+impl Routing {
+    /// Fresh, empty routing state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all cached tables (topology changed). Bumps the generation
+    /// counter that protocols can watch to detect recomputation.
+    pub fn invalidate(&mut self) {
+        self.tables.clear();
+        self.generation += 1;
+    }
+
+    /// Monotone counter incremented by every [`invalidate`](Self::invalidate).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn table_for<'a>(&'a mut self, topo: &Topology, origin: NodeId) -> &'a [Option<NextHop>] {
+        match self.tables.entry(origin) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(dijkstra(topo, origin)),
+        }
+    }
+
+    /// The next hop from `from` toward node `to`, or `None` if unreachable
+    /// or `from == to`.
+    pub fn next_hop(&mut self, topo: &Topology, from: NodeId, to: NodeId) -> Option<NextHop> {
+        self.table_for(topo, from).get(to.index()).copied().flatten()
+    }
+
+    /// The next hop from `from` toward the node owning unicast address
+    /// `to_ip`.
+    pub fn next_hop_ip(&mut self, topo: &Topology, from: NodeId, to_ip: Ipv4Addr) -> Option<NextHop> {
+        let to = topo.node_by_ip(to_ip)?;
+        self.next_hop(topo, from, to)
+    }
+
+    /// The RPF lookup: which local interface and upstream neighbor lead
+    /// toward `source`? This is how ECMP routes subscriptions toward the
+    /// channel source, hop by hop (paper §3.2, Figure 3).
+    ///
+    /// Returns `None` at the source's own node or when the source is
+    /// unreachable.
+    pub fn rpf(&mut self, topo: &Topology, at: NodeId, source: Ipv4Addr) -> Option<NextHop> {
+        self.next_hop_ip(topo, at, source)
+    }
+
+    /// Path metric from `from` to `to` (None if unreachable; 0 if equal).
+    pub fn distance(&mut self, topo: &Topology, from: NodeId, to: NodeId) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        self.next_hop(topo, from, to).map(|h| h.metric)
+    }
+
+    /// The full node path `from → … → to` (inclusive), following cached
+    /// next hops. None if unreachable.
+    pub fn path(&mut self, topo: &Topology, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![from];
+        let mut cur = from;
+        while cur != to {
+            let hop = self.next_hop(topo, cur, to)?;
+            cur = hop.next;
+            path.push(cur);
+            if path.len() > topo.node_count() {
+                // Defensive: inconsistent tables would loop forever.
+                return None;
+            }
+        }
+        Some(path)
+    }
+
+    /// Hop count (number of links) from `from` to `to`.
+    pub fn hops(&mut self, topo: &Topology, from: NodeId, to: NodeId) -> Option<usize> {
+        self.path(topo, from, to).map(|p| p.len() - 1)
+    }
+}
+
+/// Single-origin Dijkstra over up links, producing the first-hop decision
+/// for every destination.
+fn dijkstra(topo: &Topology, origin: NodeId) -> Vec<Option<NextHop>> {
+    let n = topo.node_count();
+    let mut dist: Vec<u32> = vec![u32::MAX; n];
+    let mut first_hop: Vec<Option<NextHop>> = vec![None; n];
+    dist[origin.index()] = 0;
+
+    // Max-heap of Reverse((dist, node_id)) → deterministic pop order.
+    let mut heap: BinaryHeap<core::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
+    heap.push(core::cmp::Reverse((0, origin.0)));
+
+    while let Some(core::cmp::Reverse((d, u))) = heap.pop() {
+        let u_id = NodeId(u);
+        if d > dist[u_id.index()] {
+            continue;
+        }
+        for i in 0..topo.iface_count(u_id) {
+            let iface = IfaceId(i as u8);
+            let Ok(link) = topo.link_of(u_id, iface) else { continue };
+            if !topo.link_up(link) {
+                continue;
+            }
+            let metric = topo.link_spec(link).metric;
+            for (v, _) in topo.neighbors_on(u_id, iface) {
+                let nd = d.saturating_add(metric);
+                // Strict improvement only. Ties are resolved by the
+                // deterministic heap pop order (distance, then node id), so
+                // among equal-cost paths the one through the lowest-id
+                // already-settled node wins — stable across runs.
+                if nd < dist[v.index()] {
+                    dist[v.index()] = nd;
+                    first_hop[v.index()] = if u_id == origin {
+                        Some(NextHop {
+                            iface,
+                            next: v,
+                            metric: nd,
+                        })
+                    } else {
+                        first_hop[u_id.index()].map(|h| NextHop { metric: nd, ..h })
+                    };
+                    heap.push(core::cmp::Reverse((nd, v.0)));
+                }
+            }
+        }
+    }
+    first_hop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+
+    /// a - b - c with a spur d off b.
+    fn line_topo() -> (Topology, [NodeId; 4]) {
+        let mut t = Topology::new();
+        let a = t.add_router();
+        let b = t.add_router();
+        let c = t.add_router();
+        let d = t.add_router();
+        t.connect(a, b, LinkSpec::default()).unwrap();
+        t.connect(b, c, LinkSpec::default()).unwrap();
+        t.connect(b, d, LinkSpec::default()).unwrap();
+        (t, [a, b, c, d])
+    }
+
+    #[test]
+    fn shortest_paths_on_line() {
+        let (t, [a, b, c, d]) = line_topo();
+        let mut r = Routing::new();
+        let hop = r.next_hop(&t, a, c).unwrap();
+        assert_eq!(hop.next, b);
+        assert_eq!(hop.metric, 2);
+        assert_eq!(r.path(&t, a, c).unwrap(), vec![a, b, c]);
+        assert_eq!(r.hops(&t, a, d), Some(2));
+        assert_eq!(r.distance(&t, a, a), Some(0));
+        assert_eq!(r.next_hop(&t, a, a), None);
+    }
+
+    #[test]
+    fn rpf_points_toward_source() {
+        let (t, [a, b, c, _]) = line_topo();
+        let mut r = Routing::new();
+        // From c, the RPF interface for a's address leads to b.
+        let rpf = r.rpf(&t, c, t.ip(a)).unwrap();
+        assert_eq!(rpf.next, b);
+        // At the source itself there is no RPF hop.
+        assert!(r.rpf(&t, a, t.ip(a)).is_none());
+    }
+
+    #[test]
+    fn metric_preferred_over_hop_count() {
+        let mut t = Topology::new();
+        let a = t.add_router();
+        let b = t.add_router();
+        let c = t.add_router();
+        // Direct a-c link with metric 10; a-b-c costs 2.
+        t.connect(
+            a,
+            c,
+            LinkSpec {
+                metric: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        t.connect(a, b, LinkSpec::default()).unwrap();
+        t.connect(b, c, LinkSpec::default()).unwrap();
+        let mut r = Routing::new();
+        assert_eq!(r.next_hop(&t, a, c).unwrap().next, b);
+        assert_eq!(r.distance(&t, a, c), Some(2));
+    }
+
+    #[test]
+    fn link_failure_reroutes_after_invalidate() {
+        let mut t = Topology::new();
+        let a = t.add_router();
+        let b = t.add_router();
+        let c = t.add_router();
+        let l_ab = t.connect(a, b, LinkSpec::default()).unwrap();
+        t.connect(b, c, LinkSpec::default()).unwrap();
+        t.connect(a, c, LinkSpec { metric: 5, ..Default::default() }).unwrap();
+        let mut r = Routing::new();
+        assert_eq!(r.next_hop(&t, a, b).unwrap().next, b);
+        t.set_link_up(l_ab, false);
+        r.invalidate();
+        // Now a reaches b via c.
+        assert_eq!(r.next_hop(&t, a, b).unwrap().next, c);
+        assert_eq!(r.generation(), 1);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_router();
+        let b = t.add_router();
+        let mut r = Routing::new();
+        assert!(r.next_hop(&t, a, b).is_none());
+        assert!(r.path(&t, a, b).is_none());
+        assert!(r.distance(&t, a, b).is_none());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Diamond: a-b-d and a-c-d, equal metrics. Next hop must always be b
+        // (lower id).
+        let mut t = Topology::new();
+        let a = t.add_router();
+        let b = t.add_router();
+        let c = t.add_router();
+        let d = t.add_router();
+        t.connect(a, c, LinkSpec::default()).unwrap(); // note: c connected first
+        t.connect(a, b, LinkSpec::default()).unwrap();
+        t.connect(b, d, LinkSpec::default()).unwrap();
+        t.connect(c, d, LinkSpec::default()).unwrap();
+        for _ in 0..3 {
+            let mut r = Routing::new();
+            assert_eq!(r.next_hop(&t, a, d).unwrap().next, b);
+        }
+    }
+
+    #[test]
+    fn routes_through_lan() {
+        let mut t = Topology::new();
+        let r1 = t.add_router();
+        let r2 = t.add_router();
+        let h = t.add_host();
+        t.add_lan(&[r1, r2, h], LinkSpec::lan()).unwrap();
+        let mut r = Routing::new();
+        assert_eq!(r.next_hop(&t, h, r1).unwrap().next, r1);
+        assert_eq!(r.hops(&t, r1, r2), Some(1));
+    }
+}

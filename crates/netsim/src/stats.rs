@@ -1,0 +1,153 @@
+//! Measurement: per-link traffic counters and named global counters.
+//!
+//! The paper's evaluation is largely about *costs* — control bandwidth
+//! (§5.3), message counts for proactive counting (Figure 8), delivered
+//! bytes for the unicast-vs-multicast comparison (§1). Links count
+//! automatically on every send; protocols additionally bump named counters
+//! through [`crate::engine::Ctx::count`].
+
+use crate::id::LinkId;
+use std::collections::BTreeMap;
+
+/// Whether a packet is application data or protocol control traffic.
+/// Separated so experiments can report control overhead independently of
+/// the data stream (e.g. §5.3's "424 kilobits per second of control
+/// traffic").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Application payload on a channel.
+    Data,
+    /// Routing / membership / counting protocol messages.
+    Control,
+}
+
+/// Counters for a single link (summed over both directions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Data packets carried.
+    pub data_packets: u64,
+    /// Data octets carried.
+    pub data_bytes: u64,
+    /// Control packets carried.
+    pub control_packets: u64,
+    /// Control octets carried.
+    pub control_bytes: u64,
+    /// Packets dropped by the loss process.
+    pub drops: u64,
+}
+
+impl LinkStats {
+    /// Total packets of both classes.
+    pub fn packets(&self) -> u64 {
+        self.data_packets + self.control_packets
+    }
+
+    /// Total octets of both classes.
+    pub fn bytes(&self) -> u64 {
+        self.data_bytes + self.control_bytes
+    }
+}
+
+/// All measurement state for one simulation run.
+#[derive(Debug, Default)]
+pub struct Stats {
+    per_link: Vec<LinkStats>,
+    named: BTreeMap<&'static str, u64>,
+}
+
+impl Stats {
+    /// Stats sized for `links` links.
+    pub fn new(links: usize) -> Self {
+        Stats {
+            per_link: vec![LinkStats::default(); links],
+            named: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn record_tx(&mut self, link: LinkId, bytes: usize, class: TrafficClass) {
+        let s = &mut self.per_link[link.index()];
+        match class {
+            TrafficClass::Data => {
+                s.data_packets += 1;
+                s.data_bytes += bytes as u64;
+            }
+            TrafficClass::Control => {
+                s.control_packets += 1;
+                s.control_bytes += bytes as u64;
+            }
+        }
+    }
+
+    pub(crate) fn record_drop(&mut self, link: LinkId) {
+        self.per_link[link.index()].drops += 1;
+    }
+
+    /// Counters for one link.
+    pub fn link(&self, link: LinkId) -> LinkStats {
+        self.per_link[link.index()]
+    }
+
+    /// Sum of the counters over all links.
+    pub fn total(&self) -> LinkStats {
+        let mut t = LinkStats::default();
+        for s in &self.per_link {
+            t.data_packets += s.data_packets;
+            t.data_bytes += s.data_bytes;
+            t.control_packets += s.control_packets;
+            t.control_bytes += s.control_bytes;
+            t.drops += s.drops;
+        }
+        t
+    }
+
+    /// Number of links with any data traffic — the "links used by the
+    /// channel" measure a transit domain counts in §3.1.
+    pub fn links_carrying_data(&self) -> usize {
+        self.per_link.iter().filter(|s| s.data_packets > 0).count()
+    }
+
+    /// Bump a named counter.
+    pub fn count(&mut self, key: &'static str, delta: u64) {
+        *self.named.entry(key).or_insert(0) += delta;
+    }
+
+    /// Read a named counter (0 if never bumped).
+    pub fn named(&self, key: &str) -> u64 {
+        self.named.get(key).copied().unwrap_or(0)
+    }
+
+    /// All named counters, sorted by name.
+    pub fn named_counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.named.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_accounting() {
+        let mut s = Stats::new(2);
+        s.record_tx(LinkId(0), 100, TrafficClass::Data);
+        s.record_tx(LinkId(0), 20, TrafficClass::Control);
+        s.record_tx(LinkId(1), 50, TrafficClass::Data);
+        s.record_drop(LinkId(1));
+        assert_eq!(s.link(LinkId(0)).data_bytes, 100);
+        assert_eq!(s.link(LinkId(0)).control_bytes, 20);
+        assert_eq!(s.link(LinkId(0)).packets(), 2);
+        assert_eq!(s.total().bytes(), 170);
+        assert_eq!(s.total().drops, 1);
+        assert_eq!(s.links_carrying_data(), 2);
+    }
+
+    #[test]
+    fn named_counters() {
+        let mut s = Stats::new(0);
+        s.count("ecmp.count_msgs", 3);
+        s.count("ecmp.count_msgs", 2);
+        assert_eq!(s.named("ecmp.count_msgs"), 5);
+        assert_eq!(s.named("missing"), 0);
+        assert_eq!(s.named_counters().collect::<Vec<_>>(), vec![("ecmp.count_msgs", 5)]);
+    }
+}

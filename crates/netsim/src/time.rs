@@ -1,0 +1,172 @@
+//! Simulation time: microsecond-granular, monotone, and completely
+//! decoupled from the wall clock (determinism requires that no simulated
+//! component ever reads real time).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant in simulated time, in microseconds since the start
+/// of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The beginning of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Microseconds since the start of the run.
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the start of the run (truncating).
+    pub const fn millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the start of the run as a float.
+    pub fn secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The span from `earlier` to `self`; saturates at zero if `earlier`
+    /// is actually later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from fractional seconds (rounded to the microsecond);
+    /// negative values clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimDuration((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// The span in microseconds.
+    pub const fn micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span in milliseconds (truncating).
+    pub const fn millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The span in seconds as a float.
+    pub fn secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Multiply by an integer factor, saturating.
+    pub const fn saturating_mul(self, k: u64) -> Self {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Subtract, saturating at zero.
+    pub const fn saturating_sub(self, other: SimDuration) -> Self {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, d: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(d.0))
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.since(other)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_millis(5);
+        assert_eq!(t.micros(), 5_000);
+        assert_eq!(t.millis(), 5);
+        let t2 = t + SimDuration::from_secs(1);
+        assert_eq!((t2 - t).secs_f64(), 1.0);
+        assert_eq!(t.since(t2), SimDuration::ZERO); // saturating
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_secs_f64(0.5).micros(), 500_000);
+        assert_eq!(SimDuration::from_secs_f64(-1.0).micros(), 0);
+        assert_eq!(SimDuration::from_secs(2).millis(), 2_000);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_micros(7);
+        assert_eq!(t, SimTime(7));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", SimTime(1_500_000)), "1.500000s");
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(SimDuration(u64::MAX).saturating_mul(2).0, u64::MAX);
+        assert_eq!(SimDuration(3).saturating_sub(SimDuration(5)), SimDuration::ZERO);
+    }
+}

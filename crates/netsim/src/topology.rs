@@ -1,0 +1,386 @@
+//! The network topology: nodes (routers and hosts), interfaces, and links
+//! (point-to-point or multi-access LAN segments).
+//!
+//! Every node automatically receives a unique unicast IPv4 address from
+//! `10.0.0.0/8`; the topology keeps the reverse map so protocols can resolve
+//! an address to a simulated node. Interfaces per node are capped at 32,
+//! matching the 5-bit incoming-interface / 32-bit outgoing-mask FIB entry of
+//! the paper's Figure 5.
+
+use crate::id::{IfaceId, LinkId, NodeId};
+use crate::time::SimDuration;
+use express_wire::addr::Ipv4Addr;
+use std::collections::HashMap;
+
+/// Whether a node is a router (forwards) or an end host (sources/sinks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A packet-forwarding router running a multicast routing protocol.
+    Router,
+    /// An end host running the subscriber/source service interface.
+    Host,
+}
+
+/// Physical characteristics of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Transmission rate in bits per second (serialization delay =
+    /// 8·bytes / bandwidth). `u64::MAX` disables serialization delay.
+    pub bandwidth_bps: u64,
+    /// Independent per-packet loss probability for datagram traffic
+    /// (reliable stream traffic is never dropped — retransmission is
+    /// abstracted away, as §3.2's TCP mode assumes).
+    pub loss: f64,
+    /// Routing metric (unicast shortest paths minimize the metric sum).
+    pub metric: u32,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_millis(1),
+            bandwidth_bps: 100_000_000, // paper §4.5: "each low-cost PC ... 100 Mbps"
+            loss: 0.0,
+            metric: 1,
+        }
+    }
+}
+
+impl LinkSpec {
+    /// A LAN-ish spec: low latency, high bandwidth.
+    pub fn lan() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_micros(100),
+            ..Default::default()
+        }
+    }
+
+    /// A WAN-ish spec with the given one-way delay in milliseconds.
+    pub fn wan(latency_ms: u64) -> Self {
+        LinkSpec {
+            latency: SimDuration::from_millis(latency_ms),
+            bandwidth_bps: 45_000_000, // T3-era backbone trunk
+            ..Default::default()
+        }
+    }
+}
+
+/// Errors from topology construction and queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoError {
+    /// The node already has 32 interfaces (Figure 5 bound).
+    TooManyInterfaces(NodeId),
+    /// An id referenced a node that does not exist.
+    NoSuchNode(NodeId),
+    /// An id referenced a link that does not exist.
+    NoSuchLink(LinkId),
+    /// A node/interface pair that does not exist.
+    NoSuchInterface(NodeId, IfaceId),
+}
+
+impl core::fmt::Display for TopoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TopoError::TooManyInterfaces(n) => write!(f, "{n} already has 32 interfaces"),
+            TopoError::NoSuchNode(n) => write!(f, "no such node {n}"),
+            TopoError::NoSuchLink(l) => write!(f, "no such link {l}"),
+            TopoError::NoSuchInterface(n, i) => write!(f, "no such interface {n}/{i}"),
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub kind: NodeKind,
+    pub ip: Ipv4Addr,
+    /// Interface *i* attaches to `ifaces[i]`.
+    pub ifaces: Vec<LinkId>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Link {
+    pub endpoints: Vec<(NodeId, IfaceId)>,
+    pub spec: LinkSpec,
+    pub up: bool,
+}
+
+/// The network graph.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) links: Vec<Link>,
+    by_ip: HashMap<Ipv4Addr, NodeId>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        // 10.a.b.c from the node index; the /8 gives 2^24 addresses.
+        let idx = id.0;
+        assert!(idx < (1 << 24), "topology exceeds the 10.0.0.0/8 address plan");
+        let ip = Ipv4Addr::new(10, (idx >> 16) as u8, (idx >> 8) as u8, idx as u8);
+        self.nodes.push(Node {
+            kind,
+            ip,
+            ifaces: Vec::new(),
+        });
+        self.by_ip.insert(ip, id);
+        id
+    }
+
+    /// Add a router.
+    pub fn add_router(&mut self) -> NodeId {
+        self.add_node(NodeKind::Router)
+    }
+
+    /// Add an end host.
+    pub fn add_host(&mut self) -> NodeId {
+        self.add_node(NodeKind::Host)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The kind of `node`.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.nodes[node.index()].kind
+    }
+
+    /// The unicast address of `node`.
+    pub fn ip(&self, node: NodeId) -> Ipv4Addr {
+        self.nodes[node.index()].ip
+    }
+
+    /// Resolve a unicast address to its node.
+    pub fn node_by_ip(&self, ip: Ipv4Addr) -> Option<NodeId> {
+        self.by_ip.get(&ip).copied()
+    }
+
+    /// Number of interfaces on `node`.
+    pub fn iface_count(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].ifaces.len()
+    }
+
+    /// The link attached to `node`'s interface `iface`.
+    pub fn link_of(&self, node: NodeId, iface: IfaceId) -> Result<LinkId, TopoError> {
+        self.nodes
+            .get(node.index())
+            .ok_or(TopoError::NoSuchNode(node))?
+            .ifaces
+            .get(iface.index())
+            .copied()
+            .ok_or(TopoError::NoSuchInterface(node, iface))
+    }
+
+    /// The physical spec of `link`.
+    pub fn link_spec(&self, link: LinkId) -> LinkSpec {
+        self.links[link.index()].spec
+    }
+
+    /// Is `link` currently up?
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.links[link.index()].up
+    }
+
+    /// Mark `link` up or down (unicast routes must then be recomputed;
+    /// the engine does this and notifies attached agents).
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.links[link.index()].up = up;
+    }
+
+    /// All `(node, iface)` attachment points of `link`.
+    pub fn link_endpoints(&self, link: LinkId) -> &[(NodeId, IfaceId)] {
+        &self.links[link.index()].endpoints
+    }
+
+    fn attach(&mut self, node: NodeId, link: LinkId) -> Result<IfaceId, TopoError> {
+        let n = self.nodes.get_mut(node.index()).ok_or(TopoError::NoSuchNode(node))?;
+        if n.ifaces.len() >= 32 {
+            return Err(TopoError::TooManyInterfaces(node));
+        }
+        let iface = IfaceId(n.ifaces.len() as u8);
+        n.ifaces.push(link);
+        Ok(iface)
+    }
+
+    /// Connect two nodes with a point-to-point link, allocating one
+    /// interface on each; returns the link id.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> Result<LinkId, TopoError> {
+        let link = LinkId(self.links.len() as u32);
+        // Reserve the link slot first so `attach` records a valid id.
+        self.links.push(Link {
+            endpoints: Vec::with_capacity(2),
+            spec,
+            up: true,
+        });
+        let ia = self.attach(a, link)?;
+        let ib = self.attach(b, link)?;
+        self.links[link.index()].endpoints = vec![(a, ia), (b, ib)];
+        Ok(link)
+    }
+
+    /// Create a multi-access LAN segment attaching all of `members`;
+    /// returns the link id. Datagrams sent to a multicast destination on a
+    /// LAN reach every attached node except the sender.
+    pub fn add_lan(&mut self, members: &[NodeId], spec: LinkSpec) -> Result<LinkId, TopoError> {
+        let link = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            endpoints: Vec::with_capacity(members.len()),
+            spec,
+            up: true,
+        });
+        let mut eps = Vec::with_capacity(members.len());
+        for &m in members {
+            let i = self.attach(m, link)?;
+            eps.push((m, i));
+        }
+        self.links[link.index()].endpoints = eps;
+        Ok(link)
+    }
+
+    /// The neighbors reachable out of `node`'s interface `iface`
+    /// (one for point-to-point, possibly many on a LAN). Only includes
+    /// endpoints if the link is up.
+    pub fn neighbors_on(&self, node: NodeId, iface: IfaceId) -> Vec<(NodeId, IfaceId)> {
+        let Ok(link) = self.link_of(node, iface) else {
+            return Vec::new();
+        };
+        let l = &self.links[link.index()];
+        if !l.up {
+            return Vec::new();
+        }
+        l.endpoints.iter().copied().filter(|&(n, _)| n != node).collect()
+    }
+
+    /// All neighbors of `node` across all interfaces, with the local
+    /// interface each is reached through.
+    pub fn neighbors(&self, node: NodeId) -> Vec<(IfaceId, NodeId)> {
+        let mut out = Vec::new();
+        for i in 0..self.iface_count(node) {
+            let iface = IfaceId(i as u8);
+            for (n, _) in self.neighbors_on(node, iface) {
+                out.push((iface, n));
+            }
+        }
+        out
+    }
+
+    /// The interface of `node` that attaches to `link`, if any.
+    pub fn iface_on_link(&self, node: NodeId, link: LinkId) -> Option<IfaceId> {
+        self.links[link.index()]
+            .endpoints
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, i)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_ips_and_reverse_lookup() {
+        let mut t = Topology::new();
+        let a = t.add_router();
+        let b = t.add_host();
+        assert_ne!(t.ip(a), t.ip(b));
+        assert_eq!(t.node_by_ip(t.ip(a)), Some(a));
+        assert_eq!(t.node_by_ip(t.ip(b)), Some(b));
+        assert_eq!(t.node_by_ip(Ipv4Addr::new(192, 0, 2, 1)), None);
+        assert!(t.ip(a).is_unicast());
+    }
+
+    #[test]
+    fn connect_allocates_interfaces() {
+        let mut t = Topology::new();
+        let a = t.add_router();
+        let b = t.add_router();
+        let c = t.add_router();
+        let l1 = t.connect(a, b, LinkSpec::default()).unwrap();
+        let l2 = t.connect(a, c, LinkSpec::default()).unwrap();
+        assert_eq!(t.iface_count(a), 2);
+        assert_eq!(t.iface_count(b), 1);
+        assert_eq!(t.link_of(a, IfaceId(0)).unwrap(), l1);
+        assert_eq!(t.link_of(a, IfaceId(1)).unwrap(), l2);
+        assert_eq!(t.neighbors_on(a, IfaceId(0)), vec![(b, IfaceId(0))]);
+        assert_eq!(t.neighbors(a), vec![(IfaceId(0), b), (IfaceId(1), c)]);
+    }
+
+    #[test]
+    fn interface_cap_is_32() {
+        let mut t = Topology::new();
+        let hub = t.add_router();
+        for _ in 0..32 {
+            let x = t.add_router();
+            t.connect(hub, x, LinkSpec::default()).unwrap();
+        }
+        let extra = t.add_router();
+        assert_eq!(
+            t.connect(hub, extra, LinkSpec::default()),
+            Err(TopoError::TooManyInterfaces(hub))
+        );
+    }
+
+    #[test]
+    fn lan_membership() {
+        let mut t = Topology::new();
+        let r = t.add_router();
+        let h1 = t.add_host();
+        let h2 = t.add_host();
+        let lan = t.add_lan(&[r, h1, h2], LinkSpec::lan()).unwrap();
+        assert_eq!(t.link_endpoints(lan).len(), 3);
+        let nbrs = t.neighbors_on(r, IfaceId(0));
+        assert_eq!(nbrs.len(), 2);
+        assert_eq!(t.iface_on_link(h1, lan), Some(IfaceId(0)));
+    }
+
+    #[test]
+    fn link_down_hides_neighbors() {
+        let mut t = Topology::new();
+        let a = t.add_router();
+        let b = t.add_router();
+        let l = t.connect(a, b, LinkSpec::default()).unwrap();
+        assert_eq!(t.neighbors_on(a, IfaceId(0)).len(), 1);
+        t.set_link_up(l, false);
+        assert!(!t.link_up(l));
+        assert!(t.neighbors_on(a, IfaceId(0)).is_empty());
+        t.set_link_up(l, true);
+        assert_eq!(t.neighbors_on(a, IfaceId(0)).len(), 1);
+    }
+
+    #[test]
+    fn bad_queries_error() {
+        let mut t = Topology::new();
+        let a = t.add_router();
+        assert_eq!(
+            t.link_of(a, IfaceId(0)),
+            Err(TopoError::NoSuchInterface(a, IfaceId(0)))
+        );
+        assert_eq!(
+            t.link_of(NodeId(99), IfaceId(0)),
+            Err(TopoError::NoSuchNode(NodeId(99)))
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Neighbor-transport helpers shared by the protocol crates.
+//!
+//! The engine gives protocols two delivery classes (reliable / datagram);
+//! what remains of "TCP mode" vs "UDP mode" (paper §3.2) is bookkeeping that
+//! lives here:
+//!
+//! * [`RttEstimator`] — the "measured round-trip time to its upstream
+//!   neighbor" that ECMP uses to decrement CountQuery timeouts per hop
+//!   (§3.1).
+//! * [`Keepalive`] — the "single per-neighbor keepalive \[that\] is sufficient
+//!   to detect a connection failure" in TCP mode (§3.2).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Exponentially-weighted moving average RTT estimator (the classic
+/// TCP-style smoother: `srtt ← (1-g)·srtt + g·sample`, g = 1/8).
+#[derive(Debug, Clone, Copy)]
+pub struct RttEstimator {
+    srtt_us: f64,
+    initialized: bool,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator {
+            // Conservative initial guess: 100 ms, a WAN-scale RTT.
+            srtt_us: 100_000.0,
+            initialized: false,
+        }
+    }
+}
+
+impl RttEstimator {
+    /// Fresh estimator with the default initial guess.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Incorporate a measured round-trip sample.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        let s = rtt.micros() as f64;
+        if self.initialized {
+            self.srtt_us = 0.875 * self.srtt_us + 0.125 * s;
+        } else {
+            self.srtt_us = s;
+            self.initialized = true;
+        }
+    }
+
+    /// The smoothed estimate.
+    pub fn rtt(&self) -> SimDuration {
+        SimDuration::from_micros(self.srtt_us as u64)
+    }
+
+    /// Has at least one sample been incorporated?
+    pub fn has_sample(&self) -> bool {
+        self.initialized
+    }
+
+    /// The per-hop timeout decrement ECMP applies to a forwarded
+    /// CountQuery: "a small multiple of the measured round-trip time to its
+    /// upstream neighbor" (§3.1). We use 2·SRTT.
+    pub fn hop_decrement(&self) -> SimDuration {
+        self.rtt().saturating_mul(2)
+    }
+}
+
+/// Keepalive failure detection for a reliable-mode neighbor: the peer is
+/// declared dead if nothing has been heard for `interval × misses`.
+#[derive(Debug, Clone, Copy)]
+pub struct Keepalive {
+    interval: SimDuration,
+    misses: u32,
+    last_heard: SimTime,
+}
+
+impl Keepalive {
+    /// Track a neighbor with the given probe interval and tolerated misses.
+    pub fn new(now: SimTime, interval: SimDuration, misses: u32) -> Self {
+        Keepalive {
+            interval,
+            misses: misses.max(1),
+            last_heard: now,
+        }
+    }
+
+    /// Note that any traffic arrived from the peer at `now` (data counts as
+    /// a keepalive, as in TCP).
+    pub fn heard(&mut self, now: SimTime) {
+        self.last_heard = self.last_heard.max(now);
+    }
+
+    /// Is the peer considered failed at `now`?
+    pub fn expired(&self, now: SimTime) -> bool {
+        now.since(self.last_heard) > self.interval.saturating_mul(u64::from(self.misses))
+    }
+
+    /// When the next keepalive probe should be sent.
+    pub fn next_probe_at(&self) -> SimTime {
+        self.last_heard + self.interval
+    }
+
+    /// The probe interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_first_sample_replaces_guess() {
+        let mut e = RttEstimator::new();
+        assert!(!e.has_sample());
+        e.sample(SimDuration::from_millis(10));
+        assert_eq!(e.rtt(), SimDuration::from_millis(10));
+        assert!(e.has_sample());
+    }
+
+    #[test]
+    fn rtt_smooths_toward_samples() {
+        let mut e = RttEstimator::new();
+        e.sample(SimDuration::from_millis(10));
+        for _ in 0..100 {
+            e.sample(SimDuration::from_millis(20));
+        }
+        let ms = e.rtt().millis();
+        assert!((19..=20).contains(&ms), "smoothed to ~20ms, got {ms}");
+    }
+
+    #[test]
+    fn hop_decrement_is_small_multiple_of_rtt() {
+        let mut e = RttEstimator::new();
+        e.sample(SimDuration::from_millis(15));
+        assert_eq!(e.hop_decrement(), SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn keepalive_expiry() {
+        let t0 = SimTime::ZERO;
+        let mut k = Keepalive::new(t0, SimDuration::from_secs(30), 3);
+        assert!(!k.expired(t0 + SimDuration::from_secs(89)));
+        assert!(k.expired(t0 + SimDuration::from_secs(91)));
+        k.heard(t0 + SimDuration::from_secs(60));
+        assert!(!k.expired(t0 + SimDuration::from_secs(149)));
+        assert_eq!(k.next_probe_at(), t0 + SimDuration::from_secs(90));
+    }
+
+    #[test]
+    fn heard_never_goes_backward() {
+        let mut k = Keepalive::new(SimTime(100), SimDuration::from_secs(1), 1);
+        k.heard(SimTime(50));
+        assert_eq!(k.next_probe_at(), SimTime(100) + SimDuration::from_secs(1));
+    }
+}

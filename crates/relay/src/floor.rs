@@ -1,0 +1,221 @@
+//! Floor control: the SR as "an intelligent audience microphone" (§4.2).
+//!
+//! "The SR can ensure that one question is transmitted to the audience at
+//! a time, that the answer immediately follows the question, and that no
+//! member disrupts the session with excessive questions."
+//!
+//! Pure logic: a FIFO request queue, one floor holder at a time, an
+//! authorization set, and a per-member question quota.
+
+use express_wire::addr::Ipv4Addr;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The verdict on a floor request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloorDecision {
+    /// The requester holds the floor now.
+    Granted,
+    /// The requester is queued behind the current speaker.
+    Queued,
+    /// Refused: not authorized or quota exhausted.
+    Denied,
+}
+
+/// SR-side floor state.
+///
+/// ```
+/// use session_relay::floor::{FloorControl, FloorDecision};
+/// use express_wire::addr::Ipv4Addr;
+///
+/// let alice = Ipv4Addr::new(10, 0, 0, 1);
+/// let bob = Ipv4Addr::new(10, 0, 0, 2);
+/// let mut floor = FloorControl::open();
+/// assert_eq!(floor.request(alice), FloorDecision::Granted);
+/// assert_eq!(floor.request(bob), FloorDecision::Queued);
+/// assert_eq!(floor.release(alice), Some(bob)); // FIFO hand-off
+/// ```
+#[derive(Debug, Clone)]
+pub struct FloorControl {
+    /// `None` ⇒ anyone may speak; `Some(set)` ⇒ only these members.
+    authorized: Option<HashSet<Ipv4Addr>>,
+    /// Maximum questions (floor grants) per member; `None` ⇒ unlimited.
+    quota: Option<u32>,
+    grants: HashMap<Ipv4Addr, u32>,
+    holder: Option<Ipv4Addr>,
+    queue: VecDeque<Ipv4Addr>,
+}
+
+impl FloorControl {
+    /// Open floor: anyone, unlimited questions.
+    pub fn open() -> Self {
+        FloorControl {
+            authorized: None,
+            quota: None,
+            grants: HashMap::new(),
+            holder: None,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Restrict speaking to `members`, each limited to `quota` questions.
+    pub fn restricted(members: impl IntoIterator<Item = Ipv4Addr>, quota: Option<u32>) -> Self {
+        FloorControl {
+            authorized: Some(members.into_iter().collect()),
+            quota,
+            grants: HashMap::new(),
+            holder: None,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The member currently holding the floor.
+    pub fn holder(&self) -> Option<Ipv4Addr> {
+        self.holder
+    }
+
+    /// Queued requesters, in order.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// May `member` transmit right now?
+    pub fn may_speak(&self, member: Ipv4Addr) -> bool {
+        self.holder == Some(member)
+    }
+
+    /// Process a floor request.
+    pub fn request(&mut self, member: Ipv4Addr) -> FloorDecision {
+        if let Some(auth) = &self.authorized {
+            if !auth.contains(&member) {
+                return FloorDecision::Denied;
+            }
+        }
+        if let Some(q) = self.quota {
+            if self.grants.get(&member).copied().unwrap_or(0) >= q {
+                return FloorDecision::Denied;
+            }
+        }
+        if self.holder == Some(member) {
+            return FloorDecision::Granted; // already speaking
+        }
+        if self.queue.contains(&member) {
+            return FloorDecision::Queued;
+        }
+        if self.holder.is_none() {
+            self.grant(member);
+            FloorDecision::Granted
+        } else {
+            self.queue.push_back(member);
+            FloorDecision::Queued
+        }
+    }
+
+    fn grant(&mut self, member: Ipv4Addr) {
+        self.holder = Some(member);
+        *self.grants.entry(member).or_insert(0) += 1;
+    }
+
+    /// The holder (or the SR, administratively) releases the floor; the
+    /// next queued member is granted. Returns the new holder.
+    pub fn release(&mut self, member: Ipv4Addr) -> Option<Ipv4Addr> {
+        if self.holder == Some(member) {
+            self.holder = None;
+            while let Some(next) = self.queue.pop_front() {
+                // Re-check quota at grant time.
+                if self
+                    .quota
+                    .map(|q| self.grants.get(&next).copied().unwrap_or(0) < q)
+                    .unwrap_or(true)
+                {
+                    self.grant(next);
+                    break;
+                }
+            }
+        } else {
+            // A queued member withdrawing.
+            self.queue.retain(|m| *m != member);
+        }
+        self.holder
+    }
+
+    /// Number of grants `member` has consumed.
+    pub fn grants_used(&self, member: Ipv4Addr) -> u32 {
+        self.grants.get(&member).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(n: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, n)
+    }
+
+    #[test]
+    fn one_speaker_at_a_time() {
+        let mut f = FloorControl::open();
+        assert_eq!(f.request(m(1)), FloorDecision::Granted);
+        assert_eq!(f.request(m(2)), FloorDecision::Queued);
+        assert_eq!(f.request(m(3)), FloorDecision::Queued);
+        assert!(f.may_speak(m(1)));
+        assert!(!f.may_speak(m(2)));
+        // FIFO handoff.
+        assert_eq!(f.release(m(1)), Some(m(2)));
+        assert!(f.may_speak(m(2)));
+        assert_eq!(f.release(m(2)), Some(m(3)));
+        assert_eq!(f.release(m(3)), None);
+    }
+
+    #[test]
+    fn repeated_request_is_idempotent() {
+        let mut f = FloorControl::open();
+        assert_eq!(f.request(m(1)), FloorDecision::Granted);
+        assert_eq!(f.request(m(1)), FloorDecision::Granted);
+        assert_eq!(f.request(m(2)), FloorDecision::Queued);
+        assert_eq!(f.request(m(2)), FloorDecision::Queued);
+        assert_eq!(f.queue_len(), 1);
+    }
+
+    #[test]
+    fn unauthorized_denied() {
+        let mut f = FloorControl::restricted([m(1), m(2)], None);
+        assert_eq!(f.request(m(9)), FloorDecision::Denied);
+        assert_eq!(f.request(m(1)), FloorDecision::Granted);
+    }
+
+    #[test]
+    fn quota_limits_excessive_questions() {
+        let mut f = FloorControl::restricted([m(1), m(2)], Some(2));
+        for _ in 0..2 {
+            assert_eq!(f.request(m(1)), FloorDecision::Granted);
+            f.release(m(1));
+        }
+        assert_eq!(f.request(m(1)), FloorDecision::Denied);
+        assert_eq!(f.grants_used(m(1)), 2);
+        // Others unaffected.
+        assert_eq!(f.request(m(2)), FloorDecision::Granted);
+    }
+
+    #[test]
+    fn quota_enforced_at_handoff() {
+        let mut f = FloorControl::restricted([m(1), m(2)], Some(1));
+        assert_eq!(f.request(m(2)), FloorDecision::Granted);
+        f.release(m(2));
+        // m(2) used its quota; it queues behind m(1) but must be skipped at
+        // handoff.
+        assert_eq!(f.request(m(1)), FloorDecision::Granted);
+        assert_eq!(f.request(m(2)), FloorDecision::Denied);
+        assert_eq!(f.release(m(1)), None);
+    }
+
+    #[test]
+    fn queued_member_can_withdraw() {
+        let mut f = FloorControl::open();
+        f.request(m(1));
+        f.request(m(2));
+        f.request(m(3));
+        f.release(m(2)); // withdraw from queue
+        assert_eq!(f.release(m(1)), Some(m(3)));
+    }
+}

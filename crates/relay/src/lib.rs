@@ -1,0 +1,43 @@
+//! # session-relay
+//!
+//! The §4 middleware of the EXPRESS paper: multi-source applications built
+//! on single-source channels through an application-selected **session
+//! relay (SR)**.
+//!
+//! "Each SR-based application, e.g., conference or lecture, has an
+//! associated session relay on an application-selected host SR that acts
+//! as the source for the EXPRESS channel (SR,E) to which each participant
+//! subscribes. The SR coordinates access to the session." (§4.1)
+//!
+//! This crate provides:
+//!
+//! * [`proto`] — the application-layer relay protocol (floor requests,
+//!   relayed speech, heartbeats) carried in unicast datagrams to the SR.
+//! * [`floor`] — floor control: the SR as "an intelligent audience
+//!   microphone, accepting unicast input from authorized audience members,
+//!   assigning the floor to the next speaker" with per-member question
+//!   quotas (§4.2).
+//! * [`relay_host`] — the SR agent: channel source, relay with access
+//!   control, sequence numbering for reliable-multicast relaying (§4.2),
+//!   periodic heartbeats for failover detection.
+//! * [`participant`] — the participant agent: subscribes to the primary
+//!   (and, in *hot* standby, the backup) channel, relays its speech through
+//!   the SR, and fails over to the backup SR when heartbeats stop (§4.2's
+//!   hot/cold standby policies, under application control).
+//! * [`placement`] — application-controlled SR placement: pick the host
+//!   closest to the topological center of the participants (§4.2), versus
+//!   the network-chosen RP of PIM-SM.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod floor;
+pub mod participant;
+pub mod placement;
+pub mod proto;
+pub mod relay_host;
+
+pub use floor::FloorControl;
+pub use participant::{Participant, ParticipantAction, StandbyMode};
+pub use placement::{place_relay, PlacementObjective};
+pub use relay_host::SessionRelayHost;

@@ -1,0 +1,447 @@
+//! End-to-end session-relay tests: a distance-learning session over
+//! EXPRESS channels with floor control, relayed delay bounds, reception
+//! reports, and hot/cold standby failover (paper §4).
+
+use express::router::{EcmpRouter, RouterConfig};
+use express_wire::addr::Channel;
+use netsim::id::NodeId;
+use netsim::time::{SimDuration, SimTime};
+use netsim::topogen;
+use netsim::topology::LinkSpec;
+use netsim::{NodeKind, Sim};
+use session_relay::participant::{Participant, ParticipantAction, ParticipantEvent, StandbyMode};
+use session_relay::relay_host::SessionRelayHost;
+use session_relay::FloorControl;
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime(ms * 1000)
+}
+
+/// Star topology; hosts[0] becomes the SR.
+fn session_sim(
+    n_participants: usize,
+    floor: FloorControl,
+    standby: Option<(StandbyMode, NodeId)>,
+) -> (Sim, NodeId, Vec<NodeId>, Channel, Option<Channel>) {
+    let extra = usize::from(standby.is_some());
+    let g = topogen::star(n_participants + extra, 2, LinkSpec::default());
+    let mut sim = Sim::new(g.topo.clone(), 21);
+    for node in g.topo.node_ids() {
+        if g.topo.kind(node) == NodeKind::Router {
+            sim.set_agent(node, Box::new(EcmpRouter::new(RouterConfig::default())));
+        }
+    }
+    let sr_node = g.hosts[0];
+    let chan = Channel::new(g.topo.ip(sr_node), 1).unwrap();
+    sim.set_agent(
+        sr_node,
+        Box::new(SessionRelayHost::new(chan, floor, SimDuration::from_millis(100))),
+    );
+    // An optional backup SR occupies the last generated host position.
+    let backup_chan = standby.map(|(_, node)| Channel::new(g.topo.ip(node), 1).unwrap());
+    if let (Some((_, node)), Some(bc)) = (standby, backup_chan) {
+        sim.set_agent(
+            node,
+            Box::new(SessionRelayHost::new(bc, FloorControl::open(), SimDuration::from_millis(100))),
+        );
+    }
+    let mode = standby.map(|(m, _)| m);
+    let mut participants = Vec::new();
+    let last = g.hosts.len() - 1;
+    for (i, &h) in g.hosts[1..].iter().enumerate() {
+        if standby.is_some() && i + 1 == last {
+            continue; // that host is the backup SR
+        }
+        sim.set_agent(
+            h,
+            Box::new(Participant::new(
+                chan,
+                backup_chan,
+                mode.unwrap_or(StandbyMode::Hot),
+                SimDuration::from_millis(400),
+            )),
+        );
+        participants.push(h);
+    }
+    (sim, sr_node, participants, chan, backup_chan)
+}
+
+#[test]
+fn lecture_with_floor_control() {
+    let (mut sim, _sr, parts, _chan, _) =
+        session_sim(4, FloorControl::restricted(
+            // Authorize the first two participants only. Host IPs are
+            // deterministic (10.0.0.x from node index).
+            (0..2).map(|i| express_wire::addr::Ipv4Addr::new(10, 0, 0, 8 + (i * 4) as u8)),
+            Some(2),
+        ), None);
+    // Participant IPs depend on generated node ids; rebuild the authorized
+    // set from the actual nodes instead.
+    let p0_ip = sim.topology().ip(parts[0]);
+    let p1_ip = sim.topology().ip(parts[1]);
+    let chan = {
+        let sr_ip = sim
+            .agent_as::<SessionRelayHost>(NodeId(1))
+            .map(|s| s.channel())
+            .unwrap_or_else(|| panic!("host 1 should be the SR"));
+        sr_ip
+    };
+    // Replace the SR with one authorizing the real participant addresses.
+    sim.set_agent(
+        NodeId(1),
+        Box::new(SessionRelayHost::new(
+            chan,
+            FloorControl::restricted([p0_ip, p1_ip], Some(2)),
+            SimDuration::from_millis(100),
+        )),
+    );
+
+    for &p in &parts {
+        Participant::schedule(&mut sim, p, at_ms(1), ParticipantAction::JoinSession);
+    }
+    // p0 requests and speaks; p2 (unauthorized) tries too.
+    Participant::schedule(&mut sim, parts[0], at_ms(100), ParticipantAction::RequestFloor);
+    Participant::schedule(&mut sim, parts[0], at_ms(200), ParticipantAction::Speak { len: 500 });
+    Participant::schedule(&mut sim, parts[2], at_ms(150), ParticipantAction::RequestFloor);
+    Participant::schedule(&mut sim, parts[2], at_ms(250), ParticipantAction::Speak { len: 500 });
+    Participant::schedule(&mut sim, parts[0], at_ms(300), ParticipantAction::ReleaseFloor);
+    sim.run_until(at_ms(1500));
+
+    // p0 was granted, spoke, and everyone (including p0) heard one speech
+    // packet relayed from p0.
+    let granted = |sim: &mut Sim, n: NodeId| {
+        sim.agent_as::<Participant>(n)
+            .unwrap()
+            .events
+            .iter()
+            .any(|e| matches!(e, ParticipantEvent::FloorGranted { .. }))
+    };
+    assert!(granted(&mut sim, parts[0]));
+    assert!(!granted(&mut sim, parts[2]));
+    let denied = sim
+        .agent_as::<Participant>(parts[2])
+        .unwrap()
+        .events
+        .iter()
+        .any(|e| matches!(e, ParticipantEvent::FloorDenied { .. }));
+    assert!(denied, "unauthorized member denied the floor");
+
+    for &p in &parts {
+        let ev = &sim.agent_as::<Participant>(p).unwrap().events;
+        let speeches: Vec<_> = ev
+            .iter()
+            .filter_map(|e| match e {
+                ParticipantEvent::Data { orig_src, .. } if *orig_src == p0_ip => Some(()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(speeches.len(), 1, "exactly p0's speech relayed to {p}");
+    }
+    // The unauthorized speech never hit the channel.
+    let sr = sim.agent_as::<SessionRelayHost>(NodeId(1)).unwrap();
+    assert_eq!(sr.rejected, 1);
+}
+
+#[test]
+fn relayed_sequence_numbers_are_monotone_and_gap_free() {
+    let (mut sim, sr_node, parts, _chan, _) = session_sim(3, FloorControl::open(), None);
+    for &p in &parts {
+        Participant::schedule(&mut sim, p, at_ms(1), ParticipantAction::JoinSession);
+    }
+    Participant::schedule(&mut sim, parts[0], at_ms(100), ParticipantAction::RequestFloor);
+    for i in 0..5 {
+        Participant::schedule(&mut sim, parts[0], at_ms(200 + i * 20), ParticipantAction::Speak { len: 100 });
+    }
+    sim.run_until(at_ms(1000));
+    let _ = sr_node;
+    let ev = &sim.agent_as::<Participant>(parts[1]).unwrap().events;
+    let seqs: Vec<u32> = ev
+        .iter()
+        .filter_map(|e| match e {
+            ParticipantEvent::Data { seq, .. } => Some(*seq),
+            _ => None,
+        })
+        .collect();
+    // Monotone increasing with no gaps (lossless links): includes
+    // heartbeats interleaved with speech.
+    for w in seqs.windows(2) {
+        assert_eq!(w[1], w[0] + 1, "gap-free sequence: {seqs:?}");
+    }
+    assert!(seqs.len() >= 5);
+}
+
+#[test]
+fn reception_reports_summarized_at_sr() {
+    let (mut sim, sr_node, parts, _chan, _) = session_sim(3, FloorControl::open(), None);
+    for &p in &parts {
+        Participant::schedule(&mut sim, p, at_ms(1), ParticipantAction::JoinSession);
+    }
+    Participant::schedule(&mut sim, parts[0], at_ms(100), ParticipantAction::RequestFloor);
+    for i in 0..3 {
+        Participant::schedule(&mut sim, parts[0], at_ms(200 + i * 10), ParticipantAction::Speak { len: 10 });
+    }
+    for &p in &parts {
+        Participant::schedule(&mut sim, p, at_ms(800), ParticipantAction::SendReport);
+    }
+    sim.run_until(at_ms(1500));
+    let sr = sim.agent_as::<SessionRelayHost>(sr_node).unwrap();
+    let s = sr.summarize();
+    assert_eq!(s.reporters, 3);
+    assert_eq!(s.total_lost, 0, "lossless network ⇒ zero reported loss");
+    assert!(s.min_highest_seq >= 3);
+}
+
+#[test]
+fn relay_delay_bounded_by_twice_radius() {
+    // §4.5: "the maximum relayed delay from a sender to the most distant
+    // subscriber is at most twice the distance from the most distant
+    // subscriber to the session relay itself, assuming symmetric paths."
+    let (mut sim, sr_node, parts, _chan, _) = session_sim(4, FloorControl::open(), None);
+    for &p in &parts {
+        Participant::schedule(&mut sim, p, at_ms(1), ParticipantAction::JoinSession);
+    }
+    Participant::schedule(&mut sim, parts[0], at_ms(100), ParticipantAction::RequestFloor);
+    let speak_at = at_ms(500);
+    Participant::schedule(&mut sim, parts[0], speak_at, ParticipantAction::Speak { len: 100 });
+    sim.run_until(at_ms(1500));
+
+    // Radius: max latency from any participant to the SR. Star topology
+    // with 1 ms links: every host is 4 links from the SR host (host-hub
+    // chain), so radius = 4 ms.
+    let (topo, routing) = sim.routing_mut();
+    let radius_hops = parts
+        .iter()
+        .map(|&p| routing.hops(topo, p, sr_node).unwrap())
+        .max()
+        .unwrap() as u64;
+    let radius_us = radius_hops * 1000; // 1 ms per link
+    for &p in &parts[1..] {
+        let ev = &sim.agent_as::<Participant>(p).unwrap().events;
+        let delivery = ev
+            .iter()
+            .find_map(|e| match e {
+                ParticipantEvent::Data { at, orig_src, .. }
+                    if *at > speak_at && *orig_src != ev.first().map(|_| express_wire::addr::Ipv4Addr::UNSPECIFIED).unwrap_or(express_wire::addr::Ipv4Addr::UNSPECIFIED) =>
+                {
+                    Some(*at)
+                }
+                _ => None,
+            })
+            .expect("speech delivered");
+        let delay = delivery.micros() - speak_at.micros();
+        assert!(
+            delay <= 2 * radius_us,
+            "relayed delay {delay}µs within 2×radius {}µs",
+            2 * radius_us
+        );
+    }
+}
+
+#[test]
+fn hot_standby_fails_over_faster_than_cold() {
+    fn failover_gap(mode: StandbyMode) -> u64 {
+        let g = topogen::star(4, 2, LinkSpec::default());
+        let mut sim = Sim::new(g.topo.clone(), 33);
+        for node in g.topo.node_ids() {
+            if g.topo.kind(node) == NodeKind::Router {
+                sim.set_agent(node, Box::new(EcmpRouter::new(RouterConfig::default())));
+            }
+        }
+        let primary_sr = g.hosts[0];
+        let backup_sr = g.hosts[4];
+        let pchan = Channel::new(g.topo.ip(primary_sr), 1).unwrap();
+        let bchan = Channel::new(g.topo.ip(backup_sr), 1).unwrap();
+        sim.set_agent(
+            primary_sr,
+            Box::new(SessionRelayHost::new(pchan, FloorControl::open(), SimDuration::from_millis(100))),
+        );
+        sim.set_agent(
+            backup_sr,
+            Box::new(SessionRelayHost::new(bchan, FloorControl::open(), SimDuration::from_millis(100))),
+        );
+        let parts = &g.hosts[1..4];
+        for &p in parts {
+            sim.set_agent(
+                p,
+                Box::new(Participant::new(pchan, Some(bchan), mode, SimDuration::from_millis(300))),
+            );
+            Participant::schedule(&mut sim, p, at_ms(1), ParticipantAction::JoinSession);
+        }
+        // Kill the primary SR's access link at 2 s.
+        let sr_link = g.topo.link_of(primary_sr, netsim::IfaceId(0)).unwrap();
+        sim.schedule_link_change(at_ms(2000), sr_link, false);
+        sim.run_until(at_ms(8000));
+
+        // Failover gap at participant 0: last primary data → first backup
+        // data.
+        let ev = &sim.agent_as::<Participant>(parts[0]).unwrap().events;
+        let last_primary = ev
+            .iter()
+            .filter_map(|e| match e {
+                ParticipantEvent::Data { at, primary: true, .. } => Some(at.micros()),
+                _ => None,
+            })
+            .max()
+            .expect("primary data flowed");
+        // In hot standby the backup channel is live from the start, so
+        // only backup data *after* the primary went silent counts.
+        let first_backup = ev
+            .iter()
+            .find_map(|e| match e {
+                ParticipantEvent::Data { at, primary: false, .. } if at.micros() > last_primary => {
+                    Some(at.micros())
+                }
+                _ => None,
+            })
+            .expect("backup data flowed after failover");
+        first_backup - last_primary
+    }
+    let hot = failover_gap(StandbyMode::Hot);
+    let cold = failover_gap(StandbyMode::Cold);
+    assert!(
+        hot < cold,
+        "hot standby ({hot}µs gap) beats cold ({cold}µs gap)"
+    );
+}
+
+#[test]
+fn hot_standby_doubles_channel_state() {
+    // §4.5: "The use of a hot standby SR/channel adds additional state
+    // (approximately twice as much)".
+    fn total_fib(mode: StandbyMode) -> usize {
+        let g = topogen::star(4, 2, LinkSpec::default());
+        let mut sim = Sim::new(g.topo.clone(), 34);
+        for node in g.topo.node_ids() {
+            if g.topo.kind(node) == NodeKind::Router {
+                sim.set_agent(node, Box::new(EcmpRouter::new(RouterConfig::default())));
+            }
+        }
+        let primary_sr = g.hosts[0];
+        let backup_sr = g.hosts[4];
+        let pchan = Channel::new(g.topo.ip(primary_sr), 1).unwrap();
+        let bchan = Channel::new(g.topo.ip(backup_sr), 1).unwrap();
+        sim.set_agent(
+            primary_sr,
+            Box::new(SessionRelayHost::new(pchan, FloorControl::open(), SimDuration::from_millis(100))),
+        );
+        sim.set_agent(
+            backup_sr,
+            Box::new(SessionRelayHost::new(bchan, FloorControl::open(), SimDuration::from_millis(100))),
+        );
+        for &p in &g.hosts[1..4] {
+            sim.set_agent(
+                p,
+                Box::new(Participant::new(pchan, Some(bchan), mode, SimDuration::from_secs(60))),
+            );
+            Participant::schedule(&mut sim, p, at_ms(1), ParticipantAction::JoinSession);
+        }
+        sim.run_until(at_ms(2000));
+        g.routers
+            .iter()
+            .map(|&r| sim.agent_as::<EcmpRouter>(r).unwrap().fib().len())
+            .sum()
+    }
+    let hot = total_fib(StandbyMode::Hot);
+    let cold = total_fib(StandbyMode::Cold);
+    assert!(hot > cold, "hot ({hot}) carries more FIB state than cold ({cold})");
+    // "approximately twice as much" — the trees overlap near the hub, so
+    // between 1.5× and 2.5× is the expected band.
+    let ratio = hot as f64 / cold as f64;
+    assert!((1.4..=2.6).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn direct_channel_switchover_cuts_delay() {
+    // §4.1's alternative to pure relaying: a long-speaking secondary source
+    // creates its own channel; the SR announces it in-band; participants
+    // subscribe; subsequent speech flows source-direct with lower delay
+    // than the unicast-to-SR + relay path.
+    let (mut sim, sr_node, parts, _chan, _) = session_sim(4, FloorControl::open(), None);
+    for &p in &parts {
+        Participant::schedule(&mut sim, p, at_ms(1), ParticipantAction::JoinSession);
+    }
+    // The lecturer-for-a-while: parts[0] speaks via the relay first.
+    Participant::schedule(&mut sim, parts[0], at_ms(100), ParticipantAction::RequestFloor);
+    Participant::schedule(&mut sim, parts[0], at_ms(500), ParticipantAction::Speak { len: 100 });
+
+    // The application decides relaying is too slow: parts[0] will source a
+    // direct channel; the SR announces it in-band at t=1s and everyone
+    // else subscribes to it — the §4.1 switchover mechanism.
+    let speaker_ip = sim.topology().ip(parts[0]);
+    let direct = express_wire::addr::Channel::new(speaker_ip, 42).unwrap();
+    SessionRelayHost::schedule_announce(&mut sim, sr_node, at_ms(1_000), speaker_ip, 42);
+    sim.run_until(at_ms(4_000));
+    let mut joined = 0;
+    for &p in &parts {
+        let ev = &sim.agent_as::<Participant>(p).unwrap().events;
+        if ev.iter().any(|e| matches!(e, ParticipantEvent::JoinedDirectChannel { channel, .. } if *channel == direct)) {
+            joined += 1;
+        }
+    }
+    // Everyone except the secondary source itself joins the direct channel.
+    assert_eq!(joined, parts.len() - 1, "all other participants switched");
+    // And the ECMP routers now carry tree state for the direct channel
+    // rooted at the speaker.
+    let topo = sim.topology().clone();
+    let mut on_tree = 0;
+    for node in topo.node_ids() {
+        if topo.kind(node) == NodeKind::Router
+            && sim.agent_as::<EcmpRouter>(node).unwrap().on_tree(direct) {
+                on_tree += 1;
+            }
+    }
+    assert!(on_tree >= 2, "a direct distribution tree stands: {on_tree} routers");
+}
+
+#[test]
+fn reception_reports_reflect_real_loss() {
+    // A lossy last hop: participants report non-zero loss and the SR's
+    // summary aggregates it (the §4.5 RTCP role under real conditions).
+    let mut t = netsim::Topology::new();
+    let r = t.add_router();
+    let sr_host = t.add_host();
+    t.connect(sr_host, r, LinkSpec::default()).unwrap();
+    let lossy = t.add_host();
+    t.connect(
+        lossy,
+        r,
+        LinkSpec {
+            loss: 0.3,
+            ..LinkSpec::default()
+        },
+    )
+    .unwrap();
+    let clean = t.add_host();
+    t.connect(clean, r, LinkSpec::default()).unwrap();
+    let chan = express_wire::addr::Channel::new(t.ip(sr_host), 1).unwrap();
+    let mut sim = netsim::Sim::new(t, 202);
+    sim.set_agent(r, Box::new(EcmpRouter::new(express::router::RouterConfig::default())));
+    sim.set_agent(
+        sr_host,
+        Box::new(SessionRelayHost::new(chan, FloorControl::open(), SimDuration::from_millis(50))),
+    );
+    for p in [lossy, clean] {
+        sim.set_agent(
+            p,
+            Box::new(Participant::new(chan, None, StandbyMode::Hot, SimDuration::from_secs(60))),
+        );
+        Participant::schedule(&mut sim, p, at_ms(1), ParticipantAction::JoinSession);
+    }
+    // The lossy link drops control traffic too: join and report are
+    // retried a few times so the test measures loss, not join failure.
+    for p in [lossy, clean] {
+        Participant::schedule(&mut sim, p, at_ms(200), ParticipantAction::JoinSession);
+    }
+    // 100+ heartbeats at 50 ms, then several report attempts.
+    for p in [lossy, clean] {
+        for k in 0..5 {
+            Participant::schedule(&mut sim, p, at_ms(6_000 + k * 100), ParticipantAction::SendReport);
+        }
+    }
+    sim.run_until(at_ms(8_000));
+    let sr = sim.agent_as::<SessionRelayHost>(sr_host).unwrap();
+    let s = sr.summarize();
+    assert_eq!(s.reporters, 2);
+    assert!(s.total_lost > 0, "30% loss must show in the reports: {s:?}");
+    assert!(s.max_lost >= 10, "the lossy participant lost plenty: {s:?}");
+}

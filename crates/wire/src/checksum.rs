@@ -1,0 +1,75 @@
+//! The Internet checksum (RFC 1071), used by the IPv4 header and by the
+//! IGMP and PIM baseline messages.
+
+/// Compute the one's-complement Internet checksum over `data`.
+///
+/// The returned value is ready to be stored in a header checksum field; a
+/// buffer whose checksum field already holds the correct value sums to zero
+/// under [`verify`].
+pub fn checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// Verify that `data` (including its embedded checksum field) checksums to
+/// zero.
+pub fn verify(data: &[u8]) -> bool {
+    ones_complement_sum(data) == 0xFFFF
+}
+
+fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2,
+        // checksum is its complement 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn zero_buffer() {
+        assert_eq!(checksum(&[0u8; 8]), 0xFFFF);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xFF]), checksum(&[0xFF, 0x00]));
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let ck = checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 1;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn carry_folding() {
+        // Many 0xFFFF words force repeated carry folds.
+        let data = [0xFFu8; 64];
+        let ck = checksum(&data);
+        let mut buf = data.to_vec();
+        buf.extend_from_slice(&ck.to_be_bytes());
+        assert!(verify(&buf));
+    }
+}

@@ -1,0 +1,183 @@
+//! DVMRP-style broadcast-and-prune control messages (RFC 1075 lineage; also
+//! used by the PIM-DM baseline). The paper contrasts EXPRESS's
+//! count-and-drop with DVMRP/PIM-DM's "broadcast" default (§3.4) and calls
+//! broadcast-and-prune "non-scalable" (§8); the `mcast-baselines` crate
+//! quantifies that with these messages.
+
+use crate::addr::Ipv4Addr;
+use crate::{checksum, field, Result, WireError};
+
+const TYPE_PROBE: u8 = 1;
+const TYPE_PRUNE: u8 = 2;
+const TYPE_GRAFT: u8 = 3;
+const TYPE_GRAFT_ACK: u8 = 4;
+
+/// A DVMRP / PIM-DM control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DvmrpMessage {
+    /// Neighbor discovery probe.
+    Probe {
+        /// Generation id detecting neighbor restarts.
+        generation_id: u32,
+    },
+    /// Prune (source, group) off the interface it arrived on, for
+    /// `lifetime_secs`. Prune state must be held per (S,G) per interface —
+    /// the state cost broadcast-and-prune pays even where there is no
+    /// interest.
+    Prune {
+        /// Source whose traffic is pruned.
+        source: Ipv4Addr,
+        /// The group.
+        group: Ipv4Addr,
+        /// Seconds before the prune expires and flooding resumes.
+        lifetime_secs: u32,
+    },
+    /// Cancel a previous prune (a downstream member appeared).
+    Graft {
+        /// The source.
+        source: Ipv4Addr,
+        /// The group.
+        group: Ipv4Addr,
+    },
+    /// Reliable acknowledgement of a graft.
+    GraftAck {
+        /// The source.
+        source: Ipv4Addr,
+        /// The group.
+        group: Ipv4Addr,
+    },
+}
+
+impl DvmrpMessage {
+    /// Encoded size of this message.
+    pub fn buffer_len(&self) -> usize {
+        match self {
+            DvmrpMessage::Probe { .. } => 8,
+            DvmrpMessage::Prune { .. } => 16,
+            DvmrpMessage::Graft { .. } | DvmrpMessage::GraftAck { .. } => 12,
+        }
+    }
+
+    /// Emit (checksummed); returns octets written.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        let len = self.buffer_len();
+        if buf.len() < len {
+            return Err(WireError::BufferTooSmall);
+        }
+        match *self {
+            DvmrpMessage::Probe { generation_id } => {
+                field::put_u8(buf, 0, TYPE_PROBE)?;
+                field::put_u8(buf, 1, 0)?;
+                field::put_u16(buf, 2, 0)?;
+                field::put_u32(buf, 4, generation_id)?;
+            }
+            DvmrpMessage::Prune {
+                source,
+                group,
+                lifetime_secs,
+            } => {
+                field::put_u8(buf, 0, TYPE_PRUNE)?;
+                field::put_u8(buf, 1, 0)?;
+                field::put_u16(buf, 2, 0)?;
+                field::put_u32(buf, 4, source.to_u32())?;
+                field::put_u32(buf, 8, group.to_u32())?;
+                field::put_u32(buf, 12, lifetime_secs)?;
+            }
+            DvmrpMessage::Graft { source, group } => {
+                field::put_u8(buf, 0, TYPE_GRAFT)?;
+                field::put_u8(buf, 1, 0)?;
+                field::put_u16(buf, 2, 0)?;
+                field::put_u32(buf, 4, source.to_u32())?;
+                field::put_u32(buf, 8, group.to_u32())?;
+            }
+            DvmrpMessage::GraftAck { source, group } => {
+                field::put_u8(buf, 0, TYPE_GRAFT_ACK)?;
+                field::put_u8(buf, 1, 0)?;
+                field::put_u16(buf, 2, 0)?;
+                field::put_u32(buf, 4, source.to_u32())?;
+                field::put_u32(buf, 8, group.to_u32())?;
+            }
+        }
+        let ck = checksum::checksum(&buf[..len]);
+        field::put_u16(buf, 2, ck)?;
+        Ok(len)
+    }
+
+    /// Parse from exactly `buf`, verifying the checksum.
+    pub fn parse(buf: &[u8]) -> Result<DvmrpMessage> {
+        if buf.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        if !checksum::verify(buf) {
+            return Err(WireError::BadChecksum);
+        }
+        match field::get_u8(buf, 0)? {
+            TYPE_PROBE => Ok(DvmrpMessage::Probe {
+                generation_id: field::get_u32(buf, 4)?,
+            }),
+            TYPE_PRUNE => Ok(DvmrpMessage::Prune {
+                source: Ipv4Addr::from_u32(field::get_u32(buf, 4)?),
+                group: Ipv4Addr::from_u32(field::get_u32(buf, 8)?),
+                lifetime_secs: field::get_u32(buf, 12)?,
+            }),
+            TYPE_GRAFT => Ok(DvmrpMessage::Graft {
+                source: Ipv4Addr::from_u32(field::get_u32(buf, 4)?),
+                group: Ipv4Addr::from_u32(field::get_u32(buf, 8)?),
+            }),
+            TYPE_GRAFT_ACK => Ok(DvmrpMessage::GraftAck {
+                source: Ipv4Addr::from_u32(field::get_u32(buf, 4)?),
+                group: Ipv4Addr::from_u32(field::get_u32(buf, 8)?),
+            }),
+            t => Err(WireError::UnknownType(t)),
+        }
+    }
+
+    /// Emit into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = vec![0u8; self.buffer_len()];
+        self.emit(&mut v).expect("sized by buffer_len");
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let s = Ipv4Addr::new(10, 0, 0, 1);
+        let g = Ipv4Addr::new(224, 9, 9, 9);
+        for m in [
+            DvmrpMessage::Probe { generation_id: 42 },
+            DvmrpMessage::Prune {
+                source: s,
+                group: g,
+                lifetime_secs: 7200,
+            },
+            DvmrpMessage::Graft { source: s, group: g },
+            DvmrpMessage::GraftAck { source: s, group: g },
+        ] {
+            assert_eq!(DvmrpMessage::parse(&m.to_vec()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn prune_truncation_rejected() {
+        let m = DvmrpMessage::Prune {
+            source: Ipv4Addr::new(10, 0, 0, 1),
+            group: Ipv4Addr::new(224, 1, 1, 1),
+            lifetime_secs: 100,
+        };
+        let bytes = m.to_vec();
+        assert!(DvmrpMessage::parse(&bytes[..12]).is_err());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let m = DvmrpMessage::Probe { generation_id: 1 };
+        let mut bytes = m.to_vec();
+        bytes[7] ^= 0x10;
+        assert_eq!(DvmrpMessage::parse(&bytes), Err(WireError::BadChecksum));
+    }
+}

@@ -1,0 +1,115 @@
+//! IP-in-IP encapsulation (protocol 4).
+//!
+//! Three users in this workspace, all from the paper:
+//!
+//! * **Subcast** (§2.1): the source unicasts an encapsulated packet to an
+//!   "on-channel" router, addressing the *inner* packet to the channel; the
+//!   router decapsulates and forwards toward downstream channel receivers.
+//! * **PIM-SM Register** (baseline): the DR tunnels data to the RP.
+//! * **Session relaying** (§4.1): a secondary source tunnels its packets to
+//!   the session-relay host, which re-sources them onto the channel.
+
+use crate::ipv4::{self, Ipv4Repr, Protocol};
+use crate::addr::Ipv4Addr;
+use crate::{Result, WireError};
+
+/// Encapsulate `inner` (a complete IPv4 datagram) in an outer unicast
+/// header from `outer_src` to `outer_dst`.
+pub fn encapsulate(outer_src: Ipv4Addr, outer_dst: Ipv4Addr, ttl: u8, inner: &[u8]) -> Result<Vec<u8>> {
+    // Validate the inner datagram before wrapping it.
+    Ipv4Repr::parse(inner)?;
+    let outer = Ipv4Repr {
+        src: outer_src,
+        dst: outer_dst,
+        protocol: Protocol::IpIp,
+        ttl,
+        payload_len: inner.len(),
+    };
+    let mut buf = vec![0u8; outer.buffer_len()];
+    outer.emit(&mut buf)?;
+    buf[ipv4::HEADER_LEN..].copy_from_slice(inner);
+    Ok(buf)
+}
+
+/// Decapsulate: given a complete datagram whose protocol is IP-in-IP,
+/// return the outer header and the inner datagram bytes.
+pub fn decapsulate(datagram: &[u8]) -> Result<(Ipv4Repr, &[u8])> {
+    let outer = Ipv4Repr::parse(datagram)?;
+    if outer.protocol != Protocol::IpIp {
+        return Err(WireError::Malformed);
+    }
+    let inner = datagram
+        .get(ipv4::HEADER_LEN..ipv4::HEADER_LEN + outer.payload_len)
+        .ok_or(WireError::Truncated)?;
+    // The inner bytes must themselves be a valid datagram.
+    Ipv4Repr::parse(inner)?;
+    Ok((outer, inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inner_datagram() -> Vec<u8> {
+        let r = Ipv4Repr {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(232, 0, 0, 5),
+            protocol: Protocol::Udp,
+            ttl: 32,
+            payload_len: 4,
+        };
+        let mut v = vec![0u8; r.buffer_len()];
+        r.emit(&mut v).unwrap();
+        v[ipv4::HEADER_LEN..].copy_from_slice(b"data");
+        v
+    }
+
+    #[test]
+    fn encap_decap_roundtrip() {
+        let inner = inner_datagram();
+        let wrapped = encapsulate(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 0, 9),
+            64,
+            &inner,
+        )
+        .unwrap();
+        let (outer, got) = decapsulate(&wrapped).unwrap();
+        assert_eq!(outer.protocol, Protocol::IpIp);
+        assert_eq!(outer.dst, Ipv4Addr::new(192, 168, 0, 9));
+        assert_eq!(got, &inner[..]);
+        // Inner destination is the channel group — subcast semantics.
+        let inner_hdr = Ipv4Repr::parse(got).unwrap();
+        assert!(inner_hdr.dst.is_single_source_multicast());
+    }
+
+    #[test]
+    fn rejects_invalid_inner() {
+        assert!(encapsulate(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            64,
+            b"not a datagram",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn decap_rejects_non_ipip() {
+        let inner = inner_datagram();
+        assert_eq!(decapsulate(&inner), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn decap_rejects_truncated_inner() {
+        let inner = inner_datagram();
+        let wrapped = encapsulate(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            64,
+            &inner,
+        )
+        .unwrap();
+        assert!(decapsulate(&wrapped[..wrapped.len() - 6]).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! IGMPv2 (RFC 2236) and IGMPv3 (the 1999 draft the paper cites) message
+//! formats.
+//!
+//! These are the *baseline* host-membership protocols: the paper contrasts
+//! ECMP's explicit `(S,E)` subscription with IGMPv2's group-only reports
+//! (plus report suppression) and IGMPv3's INCLUDE/EXCLUDE source lists
+//! (§2.2.2, §7.1). The `mcast-baselines` crate runs both on simulated LANs.
+
+use crate::addr::Ipv4Addr;
+use crate::{checksum, field, Result, WireError};
+
+const TYPE_MEMBERSHIP_QUERY: u8 = 0x11;
+const TYPE_V2_REPORT: u8 = 0x16;
+const TYPE_V2_LEAVE: u8 = 0x17;
+const TYPE_V3_REPORT: u8 = 0x22;
+
+/// An IGMPv2 message (8 octets on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IgmpV2 {
+    /// Membership query; `group` is unspecified for a general query,
+    /// and `max_resp_decisecs` bounds the randomized report delay.
+    Query {
+        /// Queried group (0.0.0.0 = general query).
+        group: Ipv4Addr,
+        /// Maximum response time in tenths of a second.
+        max_resp_decisecs: u8,
+    },
+    /// Version-2 membership report for `group`.
+    Report {
+        /// Reported group.
+        group: Ipv4Addr,
+    },
+    /// Leave-group message for `group`.
+    Leave {
+        /// Group being left.
+        group: Ipv4Addr,
+    },
+}
+
+impl IgmpV2 {
+    /// Wire size of every IGMPv2 message.
+    pub const WIRE_LEN: usize = 8;
+
+    /// Emit into `buf` (checksummed); returns octets written.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(WireError::BufferTooSmall);
+        }
+        let (ty, mrt, group) = match *self {
+            IgmpV2::Query {
+                group,
+                max_resp_decisecs,
+            } => (TYPE_MEMBERSHIP_QUERY, max_resp_decisecs, group),
+            IgmpV2::Report { group } => (TYPE_V2_REPORT, 0, group),
+            IgmpV2::Leave { group } => (TYPE_V2_LEAVE, 0, group),
+        };
+        field::put_u8(buf, 0, ty)?;
+        field::put_u8(buf, 1, mrt)?;
+        field::put_u16(buf, 2, 0)?;
+        field::put_u32(buf, 4, group.to_u32())?;
+        let ck = checksum::checksum(&buf[..Self::WIRE_LEN]);
+        field::put_u16(buf, 2, ck)?;
+        Ok(Self::WIRE_LEN)
+    }
+
+    /// Parse an IGMPv2 message, verifying the checksum.
+    pub fn parse(buf: &[u8]) -> Result<IgmpV2> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(WireError::Truncated);
+        }
+        if !checksum::verify(&buf[..Self::WIRE_LEN]) {
+            return Err(WireError::BadChecksum);
+        }
+        let ty = field::get_u8(buf, 0)?;
+        let mrt = field::get_u8(buf, 1)?;
+        let group = Ipv4Addr::from_u32(field::get_u32(buf, 4)?);
+        match ty {
+            TYPE_MEMBERSHIP_QUERY => Ok(IgmpV2::Query {
+                group,
+                max_resp_decisecs: mrt,
+            }),
+            TYPE_V2_REPORT => Ok(IgmpV2::Report { group }),
+            TYPE_V2_LEAVE => Ok(IgmpV2::Leave { group }),
+            t => Err(WireError::UnknownType(t)),
+        }
+    }
+}
+
+/// IGMPv3 group-record types (the INCLUDE/EXCLUDE model of §7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordType {
+    /// Current state is INCLUDE(sources).
+    ModeIsInclude,
+    /// Current state is EXCLUDE(sources).
+    ModeIsExclude,
+    /// Filter changed to INCLUDE(sources).
+    ChangeToInclude,
+    /// Filter changed to EXCLUDE(sources).
+    ChangeToExclude,
+    /// Additional sources to allow.
+    AllowNewSources,
+    /// Sources to block.
+    BlockOldSources,
+}
+
+impl RecordType {
+    fn to_u8(self) -> u8 {
+        match self {
+            RecordType::ModeIsInclude => 1,
+            RecordType::ModeIsExclude => 2,
+            RecordType::ChangeToInclude => 3,
+            RecordType::ChangeToExclude => 4,
+            RecordType::AllowNewSources => 5,
+            RecordType::BlockOldSources => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            1 => RecordType::ModeIsInclude,
+            2 => RecordType::ModeIsExclude,
+            3 => RecordType::ChangeToInclude,
+            4 => RecordType::ChangeToExclude,
+            5 => RecordType::AllowNewSources,
+            6 => RecordType::BlockOldSources,
+            t => return Err(WireError::UnknownType(t)),
+        })
+    }
+}
+
+/// One IGMPv3 group record: a group plus a source list under a filter mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupRecord {
+    /// The record semantics.
+    pub record_type: RecordType,
+    /// The multicast group.
+    pub group: Ipv4Addr,
+    /// The source list (subscribing to an SSM channel (S,E) is
+    /// `ChangeToInclude { group: E, sources: [S] }`).
+    pub sources: Vec<Ipv4Addr>,
+}
+
+impl GroupRecord {
+    fn wire_len(&self) -> usize {
+        8 + 4 * self.sources.len()
+    }
+}
+
+/// An IGMPv3 message: a query with optional source list, or a report with
+/// group records. There is **no report suppression** in v3 — the property
+/// §3.2 notes ECMP's UDP mode shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IgmpV3 {
+    /// Membership query (general, group-specific, or group-and-source).
+    Query {
+        /// Queried group (0.0.0.0 = general).
+        group: Ipv4Addr,
+        /// Maximum response code, tenths of a second (small values only).
+        max_resp_decisecs: u8,
+        /// Suppress router-side processing flag.
+        suppress: bool,
+        /// Querier robustness variable.
+        qrv: u8,
+        /// Querier's query interval code, seconds.
+        qqic: u8,
+        /// Optional source list for group-and-source queries.
+        sources: Vec<Ipv4Addr>,
+    },
+    /// Version-3 membership report.
+    Report {
+        /// Group records in this report.
+        records: Vec<GroupRecord>,
+    },
+}
+
+impl IgmpV3 {
+    /// Wire size of this message.
+    pub fn buffer_len(&self) -> usize {
+        match self {
+            IgmpV3::Query { sources, .. } => 12 + 4 * sources.len(),
+            IgmpV3::Report { records } => 8 + records.iter().map(GroupRecord::wire_len).sum::<usize>(),
+        }
+    }
+
+    /// Emit (checksummed); returns octets written.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        let len = self.buffer_len();
+        if buf.len() < len {
+            return Err(WireError::BufferTooSmall);
+        }
+        match self {
+            IgmpV3::Query {
+                group,
+                max_resp_decisecs,
+                suppress,
+                qrv,
+                qqic,
+                sources,
+            } => {
+                field::put_u8(buf, 0, TYPE_MEMBERSHIP_QUERY)?;
+                field::put_u8(buf, 1, *max_resp_decisecs)?;
+                field::put_u16(buf, 2, 0)?;
+                field::put_u32(buf, 4, group.to_u32())?;
+                let sflag_qrv = (u8::from(*suppress) << 3) | (qrv & 0x7);
+                field::put_u8(buf, 8, sflag_qrv)?;
+                field::put_u8(buf, 9, *qqic)?;
+                if sources.len() > usize::from(u16::MAX) {
+                    return Err(WireError::BadLength);
+                }
+                field::put_u16(buf, 10, sources.len() as u16)?;
+                for (i, s) in sources.iter().enumerate() {
+                    field::put_u32(buf, 12 + 4 * i, s.to_u32())?;
+                }
+            }
+            IgmpV3::Report { records } => {
+                field::put_u8(buf, 0, TYPE_V3_REPORT)?;
+                field::put_u8(buf, 1, 0)?;
+                field::put_u16(buf, 2, 0)?;
+                field::put_u16(buf, 4, 0)?;
+                if records.len() > usize::from(u16::MAX) {
+                    return Err(WireError::BadLength);
+                }
+                field::put_u16(buf, 6, records.len() as u16)?;
+                let mut at = 8;
+                for r in records {
+                    field::put_u8(buf, at, r.record_type.to_u8())?;
+                    field::put_u8(buf, at + 1, 0)?;
+                    field::put_u16(buf, at + 2, r.sources.len() as u16)?;
+                    field::put_u32(buf, at + 4, r.group.to_u32())?;
+                    for (i, s) in r.sources.iter().enumerate() {
+                        field::put_u32(buf, at + 8 + 4 * i, s.to_u32())?;
+                    }
+                    at += r.wire_len();
+                }
+            }
+        }
+        let ck = checksum::checksum(&buf[..len]);
+        field::put_u16(buf, 2, ck)?;
+        Ok(len)
+    }
+
+    /// Parse an IGMPv3 message from exactly `buf` (the whole slice is the
+    /// message, as delimited by the IP total-length), verifying the checksum.
+    pub fn parse(buf: &[u8]) -> Result<IgmpV3> {
+        if buf.len() < 8 {
+            return Err(WireError::Truncated);
+        }
+        if !checksum::verify(buf) {
+            return Err(WireError::BadChecksum);
+        }
+        match field::get_u8(buf, 0)? {
+            TYPE_MEMBERSHIP_QUERY => {
+                if buf.len() < 12 {
+                    return Err(WireError::Truncated);
+                }
+                let n = usize::from(field::get_u16(buf, 10)?);
+                if buf.len() < 12 + 4 * n {
+                    return Err(WireError::BadLength);
+                }
+                let mut sources = Vec::with_capacity(n);
+                for i in 0..n {
+                    sources.push(Ipv4Addr::from_u32(field::get_u32(buf, 12 + 4 * i)?));
+                }
+                let sq = field::get_u8(buf, 8)?;
+                Ok(IgmpV3::Query {
+                    group: Ipv4Addr::from_u32(field::get_u32(buf, 4)?),
+                    max_resp_decisecs: field::get_u8(buf, 1)?,
+                    suppress: sq & 0x8 != 0,
+                    qrv: sq & 0x7,
+                    qqic: field::get_u8(buf, 9)?,
+                    sources,
+                })
+            }
+            TYPE_V3_REPORT => {
+                let n = usize::from(field::get_u16(buf, 6)?);
+                let mut records = Vec::with_capacity(n);
+                let mut at = 8;
+                for _ in 0..n {
+                    let rt = RecordType::from_u8(field::get_u8(buf, at)?)?;
+                    let ns = usize::from(field::get_u16(buf, at + 2)?);
+                    let group = Ipv4Addr::from_u32(field::get_u32(buf, at + 4)?);
+                    if buf.len() < at + 8 + 4 * ns {
+                        return Err(WireError::BadLength);
+                    }
+                    let mut sources = Vec::with_capacity(ns);
+                    for i in 0..ns {
+                        sources.push(Ipv4Addr::from_u32(field::get_u32(buf, at + 8 + 4 * i)?));
+                    }
+                    records.push(GroupRecord {
+                        record_type: rt,
+                        group,
+                        sources,
+                    });
+                    at += 8 + 4 * ns;
+                }
+                Ok(IgmpV3::Report { records })
+            }
+            t => Err(WireError::UnknownType(t)),
+        }
+    }
+
+    /// Emit into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = vec![0u8; self.buffer_len()];
+        self.emit(&mut v).expect("sized by buffer_len");
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v2_roundtrip() {
+        for m in [
+            IgmpV2::Query {
+                group: Ipv4Addr::UNSPECIFIED,
+                max_resp_decisecs: 100,
+            },
+            IgmpV2::Query {
+                group: Ipv4Addr::new(224, 1, 2, 3),
+                max_resp_decisecs: 10,
+            },
+            IgmpV2::Report {
+                group: Ipv4Addr::new(239, 9, 9, 9),
+            },
+            IgmpV2::Leave {
+                group: Ipv4Addr::new(224, 5, 5, 5),
+            },
+        ] {
+            let mut buf = [0u8; IgmpV2::WIRE_LEN];
+            m.emit(&mut buf).unwrap();
+            assert_eq!(IgmpV2::parse(&buf).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn v2_rejects_corruption() {
+        let mut buf = [0u8; IgmpV2::WIRE_LEN];
+        IgmpV2::Report {
+            group: Ipv4Addr::new(224, 1, 1, 1),
+        }
+        .emit(&mut buf)
+        .unwrap();
+        buf[5] ^= 1;
+        assert_eq!(IgmpV2::parse(&buf), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn v3_ssm_subscription_shape() {
+        // Subscribing to channel (S,E) via IGMPv3 = ChangeToInclude{E, [S]}.
+        let s = Ipv4Addr::new(10, 0, 0, 1);
+        let e = Ipv4Addr::new(232, 1, 1, 1);
+        let m = IgmpV3::Report {
+            records: vec![GroupRecord {
+                record_type: RecordType::ChangeToInclude,
+                group: e,
+                sources: vec![s],
+            }],
+        };
+        let parsed = IgmpV3::parse(&m.to_vec()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn v3_query_roundtrip_with_sources() {
+        let m = IgmpV3::Query {
+            group: Ipv4Addr::new(232, 1, 1, 1),
+            max_resp_decisecs: 50,
+            suppress: true,
+            qrv: 2,
+            qqic: 125,
+            sources: vec![Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)],
+        };
+        assert_eq!(IgmpV3::parse(&m.to_vec()).unwrap(), m);
+    }
+
+    #[test]
+    fn v3_report_multiple_records() {
+        let m = IgmpV3::Report {
+            records: vec![
+                GroupRecord {
+                    record_type: RecordType::ModeIsExclude,
+                    group: Ipv4Addr::new(224, 1, 1, 1),
+                    sources: vec![],
+                },
+                GroupRecord {
+                    record_type: RecordType::BlockOldSources,
+                    group: Ipv4Addr::new(232, 2, 2, 2),
+                    sources: vec![Ipv4Addr::new(171, 64, 0, 1)],
+                },
+            ],
+        };
+        assert_eq!(IgmpV3::parse(&m.to_vec()).unwrap(), m);
+    }
+
+    #[test]
+    fn v3_truncated_record_list_rejected() {
+        let m = IgmpV3::Report {
+            records: vec![GroupRecord {
+                record_type: RecordType::ModeIsInclude,
+                group: Ipv4Addr::new(232, 1, 1, 1),
+                sources: vec![Ipv4Addr::new(10, 0, 0, 1)],
+            }],
+        };
+        let bytes = m.to_vec();
+        assert!(IgmpV3::parse(&bytes[..bytes.len() - 2]).is_err());
+    }
+}

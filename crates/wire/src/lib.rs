@@ -1,0 +1,148 @@
+//! # express-wire
+//!
+//! Wire formats for the EXPRESS single-source multicast system
+//! (Holbrook & Cheriton, SIGCOMM 1999) and for the baseline multicast
+//! protocols the paper compares against.
+//!
+//! The crate follows the *packet/representation* split popularized by
+//! smoltcp: every protocol has
+//!
+//! * a **`Repr`** — a parsed, validated, high-level representation, and
+//! * `Repr::parse(&[u8])` / `Repr::emit(&mut [u8])` / `Repr::buffer_len()`
+//!   converting between the representation and raw octets.
+//!
+//! All parsing is bounds-checked and returns a typed [`WireError`]; no
+//! `unsafe` code is used anywhere in this workspace.
+//!
+//! ## Layout of this crate
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`addr`] | IPv4 addresses, class-D and single-source (232/8) ranges, [`addr::Channel`] = (S,E) |
+//! | [`checksum`] | the Internet checksum |
+//! | [`ipv4`] | a minimal IPv4 header (enough to route, TTL-check and encapsulate) |
+//! | [`ecmp`] | the EXPRESS Count Management Protocol messages (§3 of the paper) |
+//! | [`fib`] | the packed 12-byte FIB entry of Figure 5 |
+//! | [`igmp`] | IGMPv2 and IGMPv3 host membership messages (baselines) |
+//! | [`pim`] | PIM-SM Join/Prune, Register, Hello (baseline) |
+//! | [`cbt`] | Core Based Trees join/quit/echo (baseline) |
+//! | [`dvmrp`] | DVMRP / PIM-DM prune, graft, probe (baseline) |
+//! | [`encap`] | IP-in-IP encapsulation (subcast, PIM register, session relaying) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cbt;
+pub mod checksum;
+pub mod dvmrp;
+pub mod ecmp;
+pub mod encap;
+pub mod fib;
+pub mod igmp;
+pub mod ipv4;
+pub mod pim;
+
+pub use addr::{Channel, ChannelDest, Ipv4Addr};
+pub use ecmp::{Count, CountId, CountQuery, CountResponse, EcmpMessage, ResponseStatus};
+pub use fib::FibEntry;
+
+/// Errors produced when parsing or emitting wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the smallest valid encoding.
+    Truncated,
+    /// A length field points outside the buffer or is internally inconsistent.
+    BadLength,
+    /// A checksum failed verification.
+    BadChecksum,
+    /// The version field holds an unsupported value.
+    BadVersion,
+    /// A type / opcode field holds a value this implementation does not know.
+    UnknownType(u8),
+    /// A field holds a value that is syntactically valid but semantically
+    /// forbidden (e.g. a channel destination outside the 232/8 range).
+    Malformed,
+    /// The output buffer passed to `emit` is too small.
+    BufferTooSmall,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "packet truncated"),
+            WireError::BadLength => write!(f, "inconsistent length field"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::BadVersion => write!(f, "unsupported version"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::Malformed => write!(f, "semantically invalid field"),
+            WireError::BufferTooSmall => write!(f, "output buffer too small"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, WireError>;
+
+pub mod field {
+    //! Helpers for reading/writing big-endian fields with bounds checks,
+    //! shared by every wire format in the workspace.
+    use super::{Result, WireError};
+
+    /// Read a byte at `at`.
+    pub fn get_u8(buf: &[u8], at: usize) -> Result<u8> {
+        buf.get(at).copied().ok_or(WireError::Truncated)
+    }
+
+    /// Read a big-endian u16 at `at`.
+    pub fn get_u16(buf: &[u8], at: usize) -> Result<u16> {
+        let b = buf.get(at..at + 2).ok_or(WireError::Truncated)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Read a big-endian u32 at `at`.
+    pub fn get_u32(buf: &[u8], at: usize) -> Result<u32> {
+        let b = buf.get(at..at + 4).ok_or(WireError::Truncated)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a big-endian u64 at `at`.
+    pub fn get_u64(buf: &[u8], at: usize) -> Result<u64> {
+        let b = buf.get(at..at + 8).ok_or(WireError::Truncated)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    /// Write a byte at `at`.
+    pub fn put_u8(buf: &mut [u8], at: usize, v: u8) -> Result<()> {
+        *buf.get_mut(at).ok_or(WireError::BufferTooSmall)? = v;
+        Ok(())
+    }
+
+    /// Write a big-endian u16 at `at`.
+    pub fn put_u16(buf: &mut [u8], at: usize, v: u16) -> Result<()> {
+        buf.get_mut(at..at + 2)
+            .ok_or(WireError::BufferTooSmall)?
+            .copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Write a big-endian u32 at `at`.
+    pub fn put_u32(buf: &mut [u8], at: usize, v: u32) -> Result<()> {
+        buf.get_mut(at..at + 4)
+            .ok_or(WireError::BufferTooSmall)?
+            .copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Write a big-endian u64 at `at`.
+    pub fn put_u64(buf: &mut [u8], at: usize, v: u64) -> Result<()> {
+        buf.get_mut(at..at + 8)
+            .ok_or(WireError::BufferTooSmall)?
+            .copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+}

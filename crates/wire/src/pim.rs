@@ -1,0 +1,328 @@
+//! PIM-SM message formats (RFC 2117, cited as \[9\] by the paper).
+//!
+//! Only the subset the `mcast-baselines` PIM-SM implementation needs:
+//! Hello, Join/Prune (with the wildcard and RPT bits that distinguish (*,G)
+//! shared-tree joins from (S,G) source-tree joins), Register and
+//! Register-Stop. The encoding is simplified relative to RFC 2117's
+//! encoded-address formats but keeps every semantically relevant field.
+
+use crate::addr::Ipv4Addr;
+use crate::{checksum, field, Result, WireError};
+
+const TYPE_HELLO: u8 = 0;
+const TYPE_REGISTER: u8 = 1;
+const TYPE_REGISTER_STOP: u8 = 2;
+const TYPE_JOIN_PRUNE: u8 = 3;
+
+/// A source entry inside a Join/Prune group block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceEntry {
+    /// The source address, or the RP address when `wildcard` is set.
+    pub addr: Ipv4Addr,
+    /// Wildcard bit: this entry denotes (*,G) via the RP.
+    pub wildcard: bool,
+    /// RPT bit: this entry applies to the shared (RP) tree.
+    pub rpt: bool,
+}
+
+impl SourceEntry {
+    /// A (*,G) join/prune entry through rendezvous point `rp`.
+    pub fn wildcard_rpt(rp: Ipv4Addr) -> Self {
+        SourceEntry {
+            addr: rp,
+            wildcard: true,
+            rpt: true,
+        }
+    }
+
+    /// An (S,G) source-specific entry.
+    pub fn source(s: Ipv4Addr) -> Self {
+        SourceEntry {
+            addr: s,
+            wildcard: false,
+            rpt: false,
+        }
+    }
+
+    /// An (S,G,rpt) prune entry (prune source S off the shared tree).
+    pub fn source_rpt(s: Ipv4Addr) -> Self {
+        SourceEntry {
+            addr: s,
+            wildcard: false,
+            rpt: true,
+        }
+    }
+
+    const WIRE_LEN: usize = 5;
+
+    fn emit(&self, buf: &mut [u8], at: usize) -> Result<()> {
+        let flags = (u8::from(self.wildcard) << 1) | u8::from(self.rpt);
+        field::put_u8(buf, at, flags)?;
+        field::put_u32(buf, at + 1, self.addr.to_u32())
+    }
+
+    fn parse(buf: &[u8], at: usize) -> Result<Self> {
+        let flags = field::get_u8(buf, at)?;
+        if flags & !0x3 != 0 {
+            return Err(WireError::Malformed);
+        }
+        Ok(SourceEntry {
+            addr: Ipv4Addr::from_u32(field::get_u32(buf, at + 1)?),
+            wildcard: flags & 0x2 != 0,
+            rpt: flags & 0x1 != 0,
+        })
+    }
+}
+
+/// One group block in a Join/Prune message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupBlock {
+    /// The multicast group.
+    pub group: Ipv4Addr,
+    /// Sources being joined.
+    pub joins: Vec<SourceEntry>,
+    /// Sources being pruned.
+    pub prunes: Vec<SourceEntry>,
+}
+
+impl GroupBlock {
+    fn wire_len(&self) -> usize {
+        8 + SourceEntry::WIRE_LEN * (self.joins.len() + self.prunes.len())
+    }
+}
+
+/// A PIM message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PimMessage {
+    /// Periodic neighbor hello with a holdtime.
+    Hello {
+        /// Seconds the neighbor state remains valid.
+        holdtime_secs: u16,
+    },
+    /// A data packet unicast-encapsulated by the DR to the RP (§3.4's
+    /// contrast: EXPRESS never does this). The payload carried is the inner
+    /// datagram's length only — the simulator transports the actual inner
+    /// bytes separately via [`crate::encap`].
+    Register {
+        /// The original source of the encapsulated data.
+        source: Ipv4Addr,
+        /// The group the data is addressed to.
+        group: Ipv4Addr,
+        /// Null-register flag (probe without data).
+        null: bool,
+    },
+    /// The RP telling the DR to stop registering (SPT established).
+    RegisterStop {
+        /// Source whose registers should stop.
+        source: Ipv4Addr,
+        /// The group.
+        group: Ipv4Addr,
+    },
+    /// Join/Prune toward `upstream`.
+    JoinPrune {
+        /// The upstream neighbor the message is addressed to.
+        upstream: Ipv4Addr,
+        /// Seconds the join/prune state remains valid.
+        holdtime_secs: u16,
+        /// Per-group join/prune lists.
+        groups: Vec<GroupBlock>,
+    },
+}
+
+impl PimMessage {
+    /// Encoded size of this message.
+    pub fn buffer_len(&self) -> usize {
+        match self {
+            PimMessage::Hello { .. } => 6,
+            PimMessage::Register { .. } => 13,
+            PimMessage::RegisterStop { .. } => 12,
+            PimMessage::JoinPrune { groups, .. } => {
+                12 + groups.iter().map(GroupBlock::wire_len).sum::<usize>()
+            }
+        }
+    }
+
+    /// Emit (checksummed over the whole message); returns octets written.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize> {
+        let len = self.buffer_len();
+        if buf.len() < len {
+            return Err(WireError::BufferTooSmall);
+        }
+        // Common header: version(4)|type(4), reserved, checksum.
+        let ty = match self {
+            PimMessage::Hello { .. } => TYPE_HELLO,
+            PimMessage::Register { .. } => TYPE_REGISTER,
+            PimMessage::RegisterStop { .. } => TYPE_REGISTER_STOP,
+            PimMessage::JoinPrune { .. } => TYPE_JOIN_PRUNE,
+        };
+        field::put_u8(buf, 0, (2 << 4) | ty)?;
+        field::put_u8(buf, 1, 0)?;
+        field::put_u16(buf, 2, 0)?;
+        match self {
+            PimMessage::Hello { holdtime_secs } => {
+                field::put_u16(buf, 4, *holdtime_secs)?;
+            }
+            PimMessage::Register { source, group, null } => {
+                field::put_u32(buf, 4, source.to_u32())?;
+                field::put_u32(buf, 8, group.to_u32())?;
+                field::put_u8(buf, 12, u8::from(*null))?;
+            }
+            PimMessage::RegisterStop { source, group } => {
+                field::put_u32(buf, 4, source.to_u32())?;
+                field::put_u32(buf, 8, group.to_u32())?;
+            }
+            PimMessage::JoinPrune {
+                upstream,
+                holdtime_secs,
+                groups,
+            } => {
+                field::put_u32(buf, 4, upstream.to_u32())?;
+                field::put_u16(buf, 8, *holdtime_secs)?;
+                if groups.len() > usize::from(u16::MAX) {
+                    return Err(WireError::BadLength);
+                }
+                field::put_u16(buf, 10, groups.len() as u16)?;
+                let mut at = 12;
+                for g in groups {
+                    field::put_u32(buf, at, g.group.to_u32())?;
+                    field::put_u16(buf, at + 4, g.joins.len() as u16)?;
+                    field::put_u16(buf, at + 6, g.prunes.len() as u16)?;
+                    at += 8;
+                    for s in g.joins.iter().chain(&g.prunes) {
+                        s.emit(buf, at)?;
+                        at += SourceEntry::WIRE_LEN;
+                    }
+                }
+            }
+        }
+        let ck = checksum::checksum(&buf[..len]);
+        field::put_u16(buf, 2, ck)?;
+        Ok(len)
+    }
+
+    /// Parse a PIM message from exactly `buf`, verifying the checksum.
+    pub fn parse(buf: &[u8]) -> Result<PimMessage> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let vt = field::get_u8(buf, 0)?;
+        if vt >> 4 != 2 {
+            return Err(WireError::BadVersion);
+        }
+        if !checksum::verify(buf) {
+            return Err(WireError::BadChecksum);
+        }
+        match vt & 0x0F {
+            TYPE_HELLO => Ok(PimMessage::Hello {
+                holdtime_secs: field::get_u16(buf, 4)?,
+            }),
+            TYPE_REGISTER => Ok(PimMessage::Register {
+                source: Ipv4Addr::from_u32(field::get_u32(buf, 4)?),
+                group: Ipv4Addr::from_u32(field::get_u32(buf, 8)?),
+                null: field::get_u8(buf, 12)? != 0,
+            }),
+            TYPE_REGISTER_STOP => Ok(PimMessage::RegisterStop {
+                source: Ipv4Addr::from_u32(field::get_u32(buf, 4)?),
+                group: Ipv4Addr::from_u32(field::get_u32(buf, 8)?),
+            }),
+            TYPE_JOIN_PRUNE => {
+                let upstream = Ipv4Addr::from_u32(field::get_u32(buf, 4)?);
+                let holdtime_secs = field::get_u16(buf, 8)?;
+                let ngroups = usize::from(field::get_u16(buf, 10)?);
+                let mut groups = Vec::with_capacity(ngroups);
+                let mut at = 12;
+                for _ in 0..ngroups {
+                    let group = Ipv4Addr::from_u32(field::get_u32(buf, at)?);
+                    let nj = usize::from(field::get_u16(buf, at + 4)?);
+                    let np = usize::from(field::get_u16(buf, at + 6)?);
+                    at += 8;
+                    let mut joins = Vec::with_capacity(nj);
+                    for _ in 0..nj {
+                        joins.push(SourceEntry::parse(buf, at)?);
+                        at += SourceEntry::WIRE_LEN;
+                    }
+                    let mut prunes = Vec::with_capacity(np);
+                    for _ in 0..np {
+                        prunes.push(SourceEntry::parse(buf, at)?);
+                        at += SourceEntry::WIRE_LEN;
+                    }
+                    groups.push(GroupBlock { group, joins, prunes });
+                }
+                Ok(PimMessage::JoinPrune {
+                    upstream,
+                    holdtime_secs,
+                    groups,
+                })
+            }
+            t => Err(WireError::UnknownType(t)),
+        }
+    }
+
+    /// Emit into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = vec![0u8; self.buffer_len()];
+        self.emit(&mut v).expect("sized by buffer_len");
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let m = PimMessage::Hello { holdtime_secs: 105 };
+        assert_eq!(PimMessage::parse(&m.to_vec()).unwrap(), m);
+    }
+
+    #[test]
+    fn register_roundtrip() {
+        let m = PimMessage::Register {
+            source: Ipv4Addr::new(10, 0, 0, 1),
+            group: Ipv4Addr::new(224, 1, 2, 3),
+            null: true,
+        };
+        assert_eq!(PimMessage::parse(&m.to_vec()).unwrap(), m);
+    }
+
+    #[test]
+    fn join_prune_shared_and_source_trees() {
+        let rp = Ipv4Addr::new(192, 168, 0, 1);
+        let s = Ipv4Addr::new(10, 0, 0, 1);
+        let m = PimMessage::JoinPrune {
+            upstream: Ipv4Addr::new(192, 168, 1, 1),
+            holdtime_secs: 210,
+            groups: vec![GroupBlock {
+                group: Ipv4Addr::new(224, 5, 5, 5),
+                joins: vec![SourceEntry::source(s)],
+                prunes: vec![SourceEntry::wildcard_rpt(rp), SourceEntry::source_rpt(s)],
+            }],
+        };
+        let parsed = PimMessage::parse(&m.to_vec()).unwrap();
+        assert_eq!(parsed, m);
+        if let PimMessage::JoinPrune { groups, .. } = parsed {
+            assert!(groups[0].prunes[0].wildcard && groups[0].prunes[0].rpt);
+            assert!(!groups[0].joins[0].wildcard && !groups[0].joins[0].rpt);
+            assert!(!groups[0].prunes[1].wildcard && groups[0].prunes[1].rpt);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_version_and_checksum() {
+        let m = PimMessage::Hello { holdtime_secs: 1 };
+        let mut bytes = m.to_vec();
+        bytes[0] = 0x30;
+        assert_eq!(PimMessage::parse(&bytes), Err(WireError::BadVersion));
+        let mut bytes = m.to_vec();
+        bytes[4] ^= 0xFF;
+        assert_eq!(PimMessage::parse(&bytes), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn source_entry_rejects_undefined_flag_bits() {
+        let mut buf = [0u8; 5];
+        buf[0] = 0x4;
+        assert_eq!(SourceEntry::parse(&buf, 0), Err(WireError::Malformed));
+    }
+}

@@ -1,0 +1,125 @@
+//! Distance learning: the paper's canonical *almost single-source*
+//! application (§4), built with the session-relay middleware.
+//!
+//! A lecturer multicasts over a channel to students; any student may raise
+//! a hand, be granted the floor by the SR ("an intelligent audience
+//! microphone"), ask one question heard by everyone, and the quota system
+//! keeps anyone from monopolizing the class. A backup SR stands by hot.
+//!
+//! Run with: `cargo run --example distance_learning`
+
+use express::router::{EcmpRouter, RouterConfig};
+use express_wire::addr::Channel;
+use netsim::time::{SimDuration, SimTime};
+use netsim::topogen;
+use netsim::topology::LinkSpec;
+use netsim::{NodeKind, Sim};
+use session_relay::participant::{Participant, ParticipantAction, ParticipantEvent, StandbyMode};
+use session_relay::relay_host::SessionRelayHost;
+use session_relay::FloorControl;
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime(ms * 1000)
+}
+
+fn main() {
+    // Campus network: a star of 6 student sites around the lecture hall.
+    let g = topogen::star(7, 2, LinkSpec::default());
+    let mut sim = Sim::new(g.topo.clone(), 7);
+    for node in g.topo.node_ids() {
+        if g.topo.kind(node) == NodeKind::Router {
+            sim.set_agent(node, Box::new(EcmpRouter::new(RouterConfig::default())));
+        }
+    }
+
+    let lecture_hall = g.hosts[0]; // the SR host; the lecturer resides here (§4.1)
+    let backup_hall = g.hosts[6];
+    let students = &g.hosts[1..6];
+
+    let chan = Channel::new(g.topo.ip(lecture_hall), 1).unwrap();
+    let backup_chan = Channel::new(g.topo.ip(backup_hall), 1).unwrap();
+    let student_ips: Vec<_> = students.iter().map(|&s| g.topo.ip(s)).collect();
+
+    // Floor policy: only enrolled students may speak, two questions each.
+    sim.set_agent(
+        lecture_hall,
+        Box::new(SessionRelayHost::new(
+            chan,
+            FloorControl::restricted(student_ips.clone(), Some(2)),
+            SimDuration::from_millis(100),
+        )),
+    );
+    sim.set_agent(
+        backup_hall,
+        Box::new(SessionRelayHost::new(
+            backup_chan,
+            FloorControl::restricted(student_ips, Some(2)),
+            SimDuration::from_millis(100),
+        )),
+    );
+
+    for &s in students {
+        sim.set_agent(
+            s,
+            Box::new(Participant::new(
+                chan,
+                Some(backup_chan),
+                StandbyMode::Hot,
+                SimDuration::from_millis(500),
+            )),
+        );
+        Participant::schedule(&mut sim, s, at_ms(1), ParticipantAction::JoinSession);
+    }
+
+    // Q&A: students 0 and 1 both raise hands; 0 gets the floor first,
+    // 1 is queued and granted on release. Student 2 tries a third
+    // question after exhausting the quota.
+    let s0 = students[0];
+    let s1 = students[1];
+    let s2 = students[2];
+    Participant::schedule(&mut sim, s0, at_ms(1_000), ParticipantAction::RequestFloor);
+    Participant::schedule(&mut sim, s1, at_ms(1_050), ParticipantAction::RequestFloor);
+    Participant::schedule(&mut sim, s0, at_ms(1_200), ParticipantAction::Speak { len: 300 });
+    Participant::schedule(&mut sim, s0, at_ms(1_400), ParticipantAction::ReleaseFloor);
+    Participant::schedule(&mut sim, s1, at_ms(1_800), ParticipantAction::Speak { len: 300 });
+    Participant::schedule(&mut sim, s1, at_ms(2_000), ParticipantAction::ReleaseFloor);
+    for round in 0..3u64 {
+        let t = 3_000 + round * 500;
+        Participant::schedule(&mut sim, s2, at_ms(t), ParticipantAction::RequestFloor);
+        Participant::schedule(&mut sim, s2, at_ms(t + 100), ParticipantAction::Speak { len: 100 });
+        Participant::schedule(&mut sim, s2, at_ms(t + 200), ParticipantAction::ReleaseFloor);
+    }
+    // Everyone reports reception quality at the end (§4.5 RTCP role).
+    for &s in students {
+        Participant::schedule(&mut sim, s, at_ms(6_000), ParticipantAction::SendReport);
+    }
+    sim.run_until(at_ms(8_000));
+
+    // What the class heard.
+    println!("=== distance learning session ===");
+    for (i, &s) in students.iter().enumerate() {
+        let p = sim.agent_as::<Participant>(s).unwrap();
+        let heard: Vec<String> = p
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ParticipantEvent::Data { orig_src, .. } => Some(format!("{orig_src}")),
+                _ => None,
+            })
+            .collect();
+        // Count only student speech (not SR heartbeats).
+        let questions = heard
+            .iter()
+            .filter(|src| students.iter().any(|&st| format!("{}", sim.topology().ip(st)) == **src))
+            .count();
+        println!("student {i}: heard {questions} questions");
+    }
+    let sr = sim.agent_as::<SessionRelayHost>(lecture_hall).unwrap();
+    println!("SR relayed speech from {} distinct speakers", sr.relayed.len() - usize::from(sr.relayed.contains_key(&g.topo.ip(lecture_hall))));
+    println!("SR rejected {} off-floor/over-quota speech packets", sr.rejected);
+    let summary = sr.summarize();
+    println!(
+        "reception summary: {} reporters, total lost {} (min highest seq {})",
+        summary.reporters, summary.total_lost, summary.min_highest_seq
+    );
+}

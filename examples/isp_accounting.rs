@@ -1,0 +1,118 @@
+//! ISP accounting: the charging story of §1/§2.2.3 and the
+//! router-initiated network-layer counting of §3.1.
+//!
+//! * Unicast fan-out vs a channel on the same network: the source's
+//!   access-link load is k·R vs R — the asymmetry that breaks
+//!   input-rate billing.
+//! * The ISP counts subscribers per channel (billing tiers: 10s, 100s,
+//!   1000s, ... of subscribers, §2.2.3).
+//! * A transit domain's ingress router counts the links a channel uses
+//!   inside the domain "to make inter-domain settlements" (§3.1).
+//!
+//! Run with: `cargo run --example isp_accounting`
+
+use express::host::{ExpressHost, HostAction};
+use express::router::{EcmpRouter, RouterConfig};
+use express_wire::addr::Channel;
+use express_wire::ecmp::CountId;
+use netsim::time::{SimDuration, SimTime};
+use netsim::topogen;
+use netsim::topology::LinkSpec;
+use netsim::{NodeKind, Sim};
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime(ms * 1000)
+}
+
+fn billing_tier(subs: u64) -> &'static str {
+    match subs {
+        0..=9 => "tier-1 (1-9)",
+        10..=99 => "tier-2 (10s)",
+        100..=999 => "tier-3 (100s)",
+        1000..=999_999 => "tier-4 (1000s)",
+        _ => "tier-5 (millions)",
+    }
+}
+
+fn main() {
+    let g = topogen::kary_tree(3, 3, LinkSpec::default());
+    let mut sim = Sim::new(g.topo.clone(), 11);
+    for node in g.topo.node_ids() {
+        match g.topo.kind(node) {
+            NodeKind::Router => sim.set_agent(node, Box::new(EcmpRouter::new(RouterConfig::default()))),
+            NodeKind::Host => sim.set_agent(node, Box::new(ExpressHost::new())),
+        }
+    }
+    let source = g.hosts[0];
+    let chan = Channel::new(g.topo.ip(source), 5).unwrap();
+
+    // 14 of the 27 leaves subscribe.
+    let members: Vec<_> = g.hosts[1..].iter().copied().step_by(2).collect();
+    for &m in &members {
+        ExpressHost::schedule(&mut sim, m, at_ms(1), HostAction::Subscribe { channel: chan, key: None });
+    }
+    // One second of streaming.
+    for i in 0..10 {
+        ExpressHost::schedule(
+            &mut sim,
+            source,
+            at_ms(1_000 + i * 100),
+            HostAction::SendData { channel: chan, payload_len: 1000 },
+        );
+    }
+    // The source's ISP polls the subscriber count to pick the billing tier.
+    ExpressHost::schedule(
+        &mut sim,
+        source,
+        at_ms(3_000),
+        HostAction::CountQuery {
+            channel: chan,
+            count_id: CountId::SUBSCRIBERS,
+            timeout: SimDuration::from_secs(10),
+        },
+    );
+    // The LINKS count: resources consumed inside the domain (§3.1's
+    // inter-domain settlement measure; network-layer countIds never reach
+    // hosts).
+    ExpressHost::schedule(
+        &mut sim,
+        source,
+        at_ms(3_000),
+        HostAction::CountQuery {
+            channel: chan,
+            count_id: CountId::LINKS,
+            timeout: SimDuration::from_secs(10),
+        },
+    );
+    sim.run_until(at_ms(30_000));
+
+    println!("=== ISP accounting ===");
+    // Access-link economics.
+    let src_link = g.topo.link_of(source, netsim::IfaceId(0)).unwrap();
+    let access_bytes = sim.stats().link(src_link).data_bytes;
+    let delivered_bytes: u64 = members
+        .iter()
+        .map(|&m| sim.agent_as::<ExpressHost>(m).unwrap().data_received(chan) as u64 * 1020)
+        .sum();
+    println!("source access link carried : {access_bytes} bytes (rate R)");
+    println!("aggregate delivered        : {delivered_bytes} bytes (k x R if unicast)");
+    println!(
+        "input-rate billing undercounts by {:.1}x — hence: bill the channel source",
+        delivered_bytes as f64 / access_bytes as f64
+    );
+
+    let host = sim.agent_as::<ExpressHost>(source).unwrap();
+    for (_, _, id, count) in host.count_results() {
+        if id == CountId::SUBSCRIBERS {
+            println!("subscriber count: {count}  -> {}", billing_tier(count));
+        } else if id == CountId::LINKS {
+            println!("links used by the channel in the domain: {count} (settlement basis)");
+        }
+    }
+    let mgmt: usize = g
+        .routers
+        .iter()
+        .map(|&r| sim.agent_as::<EcmpRouter>(r).unwrap().mgmt_state_bytes())
+        .sum();
+    println!("total management state carried for this channel: {mgmt} bytes network-wide");
+}

@@ -1,0 +1,88 @@
+//! Property-based tests on the unicast routing substrate — the foundation
+//! ECMP's RPF correctness rests on (§3: "relies on, and scales with,
+//! existing unicast topology information").
+
+use netsim::routing::Routing;
+use netsim::topogen;
+use netsim::topology::LinkSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On any random connected graph: every next hop strictly decreases the
+    /// distance to the destination (no loops possible), and following next
+    /// hops always terminates at the destination.
+    #[test]
+    fn next_hops_decrease_distance(n_routers in 2usize..40, extra in 0usize..30, seed in any::<u64>()) {
+        let g = topogen::random_connected(n_routers, extra, 0, LinkSpec::default(), seed);
+        let mut r = Routing::new();
+        for a in g.topo.node_ids() {
+            for b in g.topo.node_ids() {
+                if a == b { continue; }
+                let d_ab = r.distance(&g.topo, a, b).expect("connected");
+                if let Some(hop) = r.next_hop(&g.topo, a, b) {
+                    let d_nb = r.distance(&g.topo, hop.next, b).unwrap_or(0);
+                    prop_assert!(d_nb < d_ab, "next hop strictly closer");
+                    prop_assert_eq!(hop.metric, d_ab);
+                }
+                let path = r.path(&g.topo, a, b).expect("reachable");
+                prop_assert_eq!(*path.first().unwrap(), a);
+                prop_assert_eq!(*path.last().unwrap(), b);
+                prop_assert_eq!(path.len() - 1, d_ab as usize, "unit metrics: hops == distance");
+            }
+        }
+    }
+
+    /// Distances are symmetric on undirected unit-metric graphs — the
+    /// assumption behind RPF joins building the same tree data follows
+    /// (§4.5 "assuming symmetric paths").
+    #[test]
+    fn distances_symmetric(n_routers in 2usize..30, extra in 0usize..20, seed in any::<u64>()) {
+        let g = topogen::random_connected(n_routers, extra, 0, LinkSpec::default(), seed);
+        let mut r = Routing::new();
+        for a in g.topo.node_ids() {
+            for b in g.topo.node_ids() {
+                prop_assert_eq!(r.distance(&g.topo, a, b), r.distance(&g.topo, b, a));
+            }
+        }
+    }
+
+    /// The RPF interface at every node points along a shortest path toward
+    /// the source, and the union of RPF next hops from any subscriber set
+    /// forms a loop-free tree rooted at the source.
+    #[test]
+    fn rpf_union_is_a_tree(n_routers in 3usize..30, extra in 0usize..20,
+                           n_hosts in 2usize..10, seed in any::<u64>()) {
+        let g = topogen::random_connected(n_routers, extra, n_hosts, LinkSpec::default(), seed);
+        let mut r = Routing::new();
+        let src = g.hosts[0];
+        let src_ip = g.topo.ip(src);
+        // Walk RPF from every host; every walk must reach the source
+        // without revisiting a node (loop-freedom).
+        for &h in &g.hosts[1..] {
+            let mut cur = h;
+            let mut seen = std::collections::HashSet::new();
+            while cur != src {
+                prop_assert!(seen.insert(cur), "RPF loop at {cur}");
+                let hop = r.rpf(&g.topo, cur, src_ip).expect("source reachable");
+                cur = hop.next;
+            }
+        }
+    }
+
+    /// Determinism: identical topology + seed give identical routing
+    /// tables (spot-checked via full path sets).
+    #[test]
+    fn routing_deterministic(seed in any::<u64>()) {
+        let g1 = topogen::random_connected(20, 10, 5, LinkSpec::default(), seed);
+        let g2 = topogen::random_connected(20, 10, 5, LinkSpec::default(), seed);
+        let mut r1 = Routing::new();
+        let mut r2 = Routing::new();
+        for a in g1.topo.node_ids() {
+            for b in g1.topo.node_ids() {
+                prop_assert_eq!(r1.path(&g1.topo, a, b), r2.path(&g2.topo, a, b));
+            }
+        }
+    }
+}
