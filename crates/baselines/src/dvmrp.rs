@@ -13,7 +13,7 @@ use crate::util;
 use express_wire::addr::Ipv4Addr;
 use express_wire::dvmrp::DvmrpMessage;
 use express_wire::ipv4::{self, Ipv4Repr, Protocol};
-use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::engine::{Agent, Ctx, Reliability, TopologyChange, Tx};
 use netsim::id::IfaceId;
 use netsim::stats::TrafficClass;
 use netsim::time::{SimDuration, SimTime};
@@ -104,6 +104,25 @@ impl DvmrpRouter {
         if rpf_iface != Some(iface) && !src_is_local {
             self.counters.rpf_drops += 1;
             ctx.count("dvmrp.rpf_drop", 1);
+            // Prune on a non-RPF arrival (the PIM-DM assert/prune): tell
+            // the neighbor not to send (S,G) here again, so redundant
+            // paths in cyclic topologies quiesce instead of duplicating
+            // every packet forever.
+            let up = ctx
+                .neighbors_on(iface)
+                .iter()
+                .find(|&&(n, _)| ctx.topology().kind(n) == netsim::NodeKind::Router)
+                .map(|&(n, _)| ctx.topology().ip(n));
+            if let Some(up) = up {
+                let msg = DvmrpMessage::Prune {
+                    source: s,
+                    group: g,
+                    lifetime_secs: self.prune_lifetime.millis().div_ceil(1000) as u32,
+                };
+                util::send_control_to(ctx, iface, up, Protocol::Other(200), &msg.to_vec());
+                self.counters.prunes_tx += 1;
+                ctx.count("dvmrp.prune_tx", 1);
+            }
             return;
         }
         if header.ttl <= 1 {
@@ -258,6 +277,35 @@ impl Agent for DvmrpRouter {
                 let _ = util::forward_unicast(ctx, bytes, header, class);
             }
             _ => {}
+        }
+    }
+
+    fn on_link_change(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, up: bool) {
+        if up {
+            return;
+        }
+        // Prunes received on a dead interface came from a neighbor we can
+        // no longer hear; forget them so flooding resumes promptly if the
+        // link returns with a different neighbor population.
+        let before = self.pruned_downstream.len();
+        self.pruned_downstream.retain(|(_, _, i), _| *i != iface);
+        if self.pruned_downstream.len() != before {
+            ctx.count("dvmrp.iface_prune_drop", 1);
+        }
+    }
+
+    fn on_topology_change(&mut self, ctx: &mut Ctx<'_>, _change: TopologyChange) {
+        // RPF next hops may have moved, invalidating prune state in both
+        // directions: prunes we sent protect us from an upstream that may
+        // no longer be our RPF neighbor, and prunes we hold may suppress
+        // flooding toward what is now the only viable path. Flush it all;
+        // the next packets re-flood and re-prune along the new topology —
+        // the broadcast-and-prune re-convergence cost the paper's
+        // conclusion contrasts with EXPRESS's explicit subscriptions.
+        if !self.pruned_upstream.is_empty() || !self.pruned_downstream.is_empty() {
+            self.pruned_upstream.clear();
+            self.pruned_downstream.clear();
+            ctx.count("dvmrp.recovery_flush", 1);
         }
     }
 

@@ -27,7 +27,7 @@ use crate::util;
 use express_wire::addr::Ipv4Addr;
 use express_wire::ipv4::{self, Ipv4Repr, Protocol};
 use express_wire::pim::{GroupBlock, PimMessage, SourceEntry};
-use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::engine::{Agent, Ctx, Reliability, TopologyChange, Tx};
 use netsim::id::IfaceId;
 use netsim::stats::TrafficClass;
 use netsim::time::{SimDuration, SimTime};
@@ -69,6 +69,11 @@ struct TreeEntry {
     joined_ifaces: HashMap<IfaceId, SimTime>,
     /// Did we send a join upstream?
     joined_upstream: bool,
+    /// Where that join went — (iface, RPF neighbor). When unicast routing
+    /// re-converges onto a different neighbor, the re-join prunes the old
+    /// one (RFC 7761 §4.5.7) so the stale branch stops carrying duplicates
+    /// for the rest of its holdtime.
+    upstream_nbr: Option<(IfaceId, Ipv4Addr)>,
 }
 
 impl TreeEntry {
@@ -177,8 +182,17 @@ impl PimRouter {
         }
         let Some(hop) = ctx.next_hop_ip(self.cfg.rp) else { return };
         let up = ctx.ip_of(hop.next);
-        self.star_g.entry(group).or_default().joined_upstream = true;
         let rp = self.cfg.rp;
+        let prev = {
+            let e = self.star_g.entry(group).or_default();
+            e.joined_upstream = true;
+            e.upstream_nbr.replace((hop.iface, up))
+        };
+        if let Some((old_if, old_up)) = prev {
+            if (old_if, old_up) != (hop.iface, up) {
+                self.send_join_prune(ctx, old_if, old_up, group, vec![], vec![SourceEntry::wildcard_rpt(rp)]);
+            }
+        }
         self.send_join_prune(ctx, hop.iface, up, group, vec![SourceEntry::wildcard_rpt(rp)], vec![]);
     }
 
@@ -186,7 +200,16 @@ impl PimRouter {
     fn join_source_tree(&mut self, ctx: &mut Ctx<'_>, source: Ipv4Addr, group: Ipv4Addr) {
         let Some(hop) = ctx.rpf(source) else { return };
         let up = ctx.ip_of(hop.next);
-        self.sg.entry((source, group)).or_default().joined_upstream = true;
+        let prev = {
+            let e = self.sg.entry((source, group)).or_default();
+            e.joined_upstream = true;
+            e.upstream_nbr.replace((hop.iface, up))
+        };
+        if let Some((old_if, old_up)) = prev {
+            if (old_if, old_up) != (hop.iface, up) {
+                self.send_join_prune(ctx, old_if, old_up, group, vec![], vec![SourceEntry::source(source)]);
+            }
+        }
         self.send_join_prune(ctx, hop.iface, up, group, vec![SourceEntry::source(source)], vec![]);
     }
 
@@ -391,6 +414,32 @@ impl PimRouter {
         }
     }
 
+    /// Re-send joins for all live state along the *current* unicast routes.
+    /// Shared by the periodic soft-state refresh and by recovery after a
+    /// topology change, where it re-forms the tree along the new paths
+    /// without waiting for the next refresh; old-path state ages out at
+    /// holdtime.
+    fn refresh_joins(&mut self, ctx: &mut Ctx<'_>) {
+        let shared: Vec<Ipv4Addr> = self
+            .star_g
+            .iter()
+            .filter(|(_, e)| e.joined_upstream)
+            .map(|(g, _)| *g)
+            .collect();
+        for g in shared {
+            self.join_shared_tree(ctx, g);
+        }
+        let sources: Vec<(Ipv4Addr, Ipv4Addr)> = self
+            .sg
+            .iter()
+            .filter(|(_, e)| e.joined_upstream)
+            .map(|(k, _)| *k)
+            .collect();
+        for (s, g) in sources {
+            self.join_source_tree(ctx, s, g);
+        }
+    }
+
     fn handle_pim(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, _header: Ipv4Repr, msg: PimMessage) {
         let now = ctx.now();
         match msg {
@@ -427,6 +476,12 @@ impl PimRouter {
                         } else if let Some(e) = self.sg.get_mut(&(p.addr, gb.group)) {
                             e.joined_ifaces.remove(&iface);
                         }
+                    }
+                    // A wildcard prune may have emptied our downstream set;
+                    // unwind our own upstream join so the stale branch
+                    // collapses instead of dangling for the holdtime.
+                    if gb.prunes.iter().any(|p| p.wildcard) {
+                        self.prune_shared_tree_if_idle(ctx, gb.group);
                     }
                 }
             }
@@ -483,25 +538,35 @@ impl Agent for PimRouter {
         self.purge_expired(ctx.now());
         // Soft-state refresh: re-send joins for all live state (the
         // per-group periodic cost ECMP's TCP mode avoids).
-        let shared: Vec<Ipv4Addr> = self
-            .star_g
-            .iter()
-            .filter(|(_, e)| e.joined_upstream)
-            .map(|(g, _)| *g)
-            .collect();
-        for g in shared {
-            self.join_shared_tree(ctx, g);
-        }
-        let sources: Vec<(Ipv4Addr, Ipv4Addr)> = self
-            .sg
-            .iter()
-            .filter(|(_, e)| e.joined_upstream)
-            .map(|(k, _)| *k)
-            .collect();
-        for (s, g) in sources {
-            self.join_source_tree(ctx, s, g);
-        }
+        self.refresh_joins(ctx);
         ctx.set_timer(self.cfg.join_refresh, TIMER_REFRESH);
+    }
+
+    fn on_link_change(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, up: bool) {
+        if up {
+            return;
+        }
+        // Downstream joins and (S,G,rpt) prunes on a dead interface belong
+        // to neighbors we can no longer hear; drop them now instead of
+        // letting them forward into a black hole until the holdtime.
+        for e in self.star_g.values_mut().chain(self.sg.values_mut()) {
+            e.joined_ifaces.remove(&iface);
+        }
+        self.rpt_pruned.retain(|(i, _, _)| *i != iface);
+        let groups: Vec<Ipv4Addr> = self.star_g.keys().copied().collect();
+        for g in groups {
+            self.prune_shared_tree_if_idle(ctx, g);
+        }
+        ctx.count("pim.iface_state_drop", 1);
+    }
+
+    fn on_topology_change(&mut self, ctx: &mut Ctx<'_>, _change: TopologyChange) {
+        // Unicast routing has re-converged underneath us; re-send joins
+        // immediately so the distribution tree re-forms along the new
+        // paths rather than waiting up to a full join_refresh period.
+        self.purge_expired(ctx.now());
+        self.refresh_joins(ctx);
+        ctx.count("pim.recovery_rejoin", 1);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

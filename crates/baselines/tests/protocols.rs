@@ -383,3 +383,99 @@ fn pim_join_state_expires_without_refresh() {
         "expired join stops shared-tree forwarding"
     );
 }
+
+#[test]
+fn pim_rejoins_over_alternate_path_after_link_failure() {
+    // Triangle r0-r1-r2 with the RP at r2, source on r0, receiver on r1.
+    // The receiver's (*,G) join runs over the direct r1-r2 link; when that
+    // link dies, the topology-change hook must re-send the join toward the
+    // RP via r0 immediately — well before the 60 s soft-state refresh.
+    let mut t = Topology::new();
+    let r0 = t.add_router();
+    let r1 = t.add_router();
+    let r2 = t.add_router(); // RP
+    t.connect(r0, r1, LinkSpec::default()).unwrap();
+    t.connect(r0, r2, LinkSpec::default()).unwrap();
+    let l12 = t.connect(r1, r2, LinkSpec::default()).unwrap();
+    let src = t.add_host();
+    t.connect(src, r0, LinkSpec::default()).unwrap();
+    let rcv = t.add_host();
+    t.connect(rcv, r1, LinkSpec::default()).unwrap();
+    let rp_ip = t.ip(r2);
+    let mut sim = Sim::new(t, 61);
+    for r in [r0, r1, r2] {
+        // Pure shared tree: no SPT switchover muddying the path analysis.
+        let cfg = PimConfig { spt_threshold: None, ..PimConfig::new(rp_ip) };
+        sim.set_agent(r, Box::new(PimRouter::new(cfg)));
+    }
+    sim.set_agent(src, Box::new(GroupHost::new(IgmpVersion::V2)));
+    sim.set_agent(rcv, Box::new(GroupHost::new(IgmpVersion::V2)));
+
+    GroupHost::schedule(&mut sim, rcv, at_ms(1), GroupHostAction::Join { group: g1(), sources: vec![] });
+    for i in 0..5 {
+        GroupHost::schedule(&mut sim, src, at_ms(500 + i * 100), GroupHostAction::SendData { group: g1(), payload_len: 100 });
+    }
+    sim.run_until(at_ms(2_000));
+    let before = sim.agent_as::<GroupHost>(rcv).unwrap().data_received(g1());
+    assert!(before >= 4, "shared-tree delivery up before the fault: {before}");
+
+    sim.schedule_link_change(at_ms(2_500), l12, false);
+    for i in 0..5 {
+        GroupHost::schedule(&mut sim, src, at_ms(4_000 + i * 100), GroupHostAction::SendData { group: g1(), payload_len: 100 });
+    }
+    sim.run_until(at_ms(6_000)); // far below join_refresh = 60 s
+    assert!(sim.stats().named("pim.recovery_rejoin") >= 1, "topology-change hook fired");
+    let after = sim.agent_as::<GroupHost>(rcv).unwrap().data_received(g1());
+    assert!(
+        after >= before + 4,
+        "delivery resumed via r0 after the re-join: {before} -> {after}"
+    );
+}
+
+#[test]
+fn dvmrp_refloods_via_alternate_path_after_link_failure() {
+    // Triangle r0-r1-r2; source on r0, member on r1, r2 memberless. After
+    // the first flood r2 prunes itself off. When the r0-r1 link dies, the
+    // flushed prune state lets traffic re-flood through r2 to the member —
+    // the broadcast-and-prune re-convergence the paper's conclusion calls
+    // non-scalable, but recovery nonetheless.
+    let mut t = Topology::new();
+    let r0 = t.add_router();
+    let r1 = t.add_router();
+    let r2 = t.add_router();
+    let l01 = t.connect(r0, r1, LinkSpec::default()).unwrap();
+    t.connect(r0, r2, LinkSpec::default()).unwrap();
+    t.connect(r1, r2, LinkSpec::default()).unwrap();
+    let src = t.add_host();
+    t.connect(src, r0, LinkSpec::default()).unwrap();
+    let rcv = t.add_host();
+    t.connect(rcv, r1, LinkSpec::default()).unwrap();
+    let mut sim = Sim::new(t, 62);
+    for r in [r0, r1, r2] {
+        sim.set_agent(r, Box::new(DvmrpRouter::new()));
+    }
+    sim.set_agent(src, Box::new(GroupHost::new(IgmpVersion::V2)));
+    sim.set_agent(rcv, Box::new(GroupHost::new(IgmpVersion::V2)));
+
+    GroupHost::schedule(&mut sim, rcv, at_ms(1), GroupHostAction::Join { group: g1(), sources: vec![] });
+    for i in 0..3 {
+        GroupHost::schedule(&mut sim, src, at_ms(500 + i * 100), GroupHostAction::SendData { group: g1(), payload_len: 100 });
+    }
+    sim.run_until(at_ms(2_000));
+    let before = sim.agent_as::<GroupHost>(rcv).unwrap().data_received(g1());
+    assert_eq!(before, 3, "direct-path delivery before the fault");
+    let pruned: usize = [r0, r1, r2]
+        .iter()
+        .map(|&r| sim.agent_as::<DvmrpRouter>(r).unwrap().prune_state_entries())
+        .sum();
+    assert!(pruned > 0, "r2 pruned itself off before the fault");
+
+    sim.schedule_link_change(at_ms(2_500), l01, false);
+    for i in 0..3 {
+        GroupHost::schedule(&mut sim, src, at_ms(4_000 + i * 100), GroupHostAction::SendData { group: g1(), payload_len: 100 });
+    }
+    sim.run_until(at_ms(6_000)); // far below the 2 h prune lifetime
+    assert!(sim.stats().named("dvmrp.recovery_flush") >= 1, "prune state flushed on topology change");
+    let after = sim.agent_as::<GroupHost>(rcv).unwrap().data_received(g1());
+    assert_eq!(after, 6, "re-flood through r2 reached the member: {before} -> {after}");
+}

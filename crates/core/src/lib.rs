@@ -28,6 +28,12 @@
 //! The `session-relay` crate builds the §4 middleware on top of this crate;
 //! `mcast-baselines` implements the protocols the paper compares against;
 //! `express-cost` implements the §5 cost models.
+//!
+//! Failure handling (§3.2) — TCP-mode connection-failure count
+//! subtraction, link-up re-advertisement, re-homing with hysteresis,
+//! rejoin backoff under partition, UDP-mode refresh/expiry and the
+//! startup general query — lives in [`router`] and is specified, with the
+//! timers and recovery bounds each path meets, in `docs/FAILURE_MODEL.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -69,6 +69,24 @@ pub struct RouterConfig {
     /// authenticated join to travel to the source for validation — the
     /// ablation quantifying what the cache buys.
     pub cache_keys: bool,
+    /// Base delay of the exponential-backoff re-join retry: when a channel
+    /// still has subscribers but RPF yields no upstream (partition, or the
+    /// upstream crashed and routing has not re-converged), the router
+    /// retries the join at `base`, `2·base`, `4·base`, … capped at
+    /// [`rejoin_backoff_max`](Self::rejoin_backoff_max), until a route
+    /// exists. `None` disables retries (the pre-fault-model behavior:
+    /// recovery waits for the next routing change).
+    pub rejoin_backoff: Option<SimDuration>,
+    /// Ceiling for the re-join backoff delay.
+    pub rejoin_backoff_max: SimDuration,
+    /// Send an immediate ALL_CHANNELS general query on every UDP-mode
+    /// interface at start, instead of waiting one full
+    /// [`udp_refresh`](Self::udp_refresh) interval. A router restarting
+    /// after a crash uses this to re-aggregate edge subscriptions within a
+    /// round-trip rather than a refresh interval (the IGMP startup-query
+    /// analogue). Off by default so steady-state control-traffic ledgers
+    /// (§5.3 experiments) are unchanged.
+    pub boot_query: bool,
 }
 
 impl Default for RouterConfig {
@@ -80,6 +98,9 @@ impl Default for RouterConfig {
             mode_override: None,
             neighbor_probe: Some(SimDuration::from_secs(30)),
             cache_keys: true,
+            rejoin_backoff: Some(SimDuration::from_millis(500)),
+            rejoin_backoff_max: SimDuration::from_secs(30),
+            boot_query: false,
         }
     }
 }
@@ -111,6 +132,9 @@ enum TimerPurpose {
         count_id: CountId,
         timeout: SimDuration,
     },
+    /// Retry joining upstream after RPF came up empty (exponential
+    /// backoff; see `RouterConfig::rejoin_backoff`).
+    RejoinRetry { channel: Channel, attempt: u32 },
 }
 
 /// One downstream neighbor's contribution to a channel.
@@ -149,6 +173,8 @@ struct ChannelState {
     hold_down_until: SimTime,
     /// A re-home is scheduled (avoid duplicate timers).
     rehome_pending: bool,
+    /// A backoff re-join retry is armed (avoid duplicate timers).
+    rejoin_pending: bool,
 }
 
 impl ChannelState {
@@ -163,6 +189,7 @@ impl ChannelState {
             proactive_values: HashMap::new(),
             hold_down_until: SimTime::ZERO,
             rehome_pending: false,
+            rejoin_pending: false,
         }
     }
 
@@ -217,6 +244,8 @@ pub struct RouterCounters {
     pub auth_rejects: u64,
     /// Channel re-homings applied after topology changes.
     pub rehomes: u64,
+    /// Backoff re-join retries fired while no upstream route existed.
+    pub rejoin_retries: u64,
 }
 
 /// The ECMP router agent.
@@ -1323,6 +1352,48 @@ impl EcmpRouter {
             self.send_ecmp(ctx, oi, oa, msg);
         }
         self.sync_fib(chan);
+        // Orphaned with subscribers below us (the upstream crashed or the
+        // network partitioned): arm the exponential-backoff re-join so the
+        // subtree reattaches as soon as a route to the source reappears.
+        if new_hop.is_none() && agg > 0 {
+            self.arm_rejoin_retry(ctx, chan, 0);
+        }
+    }
+
+    /// Arm the backoff re-join retry for an orphaned channel.
+    fn arm_rejoin_retry(&mut self, ctx: &mut Ctx<'_>, chan: Channel, attempt: u32) {
+        let Some(base) = self.cfg.rejoin_backoff else { return };
+        let Some(st) = self.channels.get_mut(&chan) else { return };
+        if st.rejoin_pending {
+            return;
+        }
+        st.rejoin_pending = true;
+        let delay = SimDuration::from_micros(
+            base.micros()
+                .saturating_mul(1u64 << attempt.min(20))
+                .min(self.cfg.rejoin_backoff_max.micros()),
+        );
+        self.alloc_timer(ctx, delay, TimerPurpose::RejoinRetry { channel: chan, attempt });
+    }
+
+    /// The backoff timer fired: re-join if a route to the source exists
+    /// now, otherwise double the delay and try again.
+    fn rejoin_retry(&mut self, ctx: &mut Ctx<'_>, chan: Channel, attempt: u32) {
+        let Some(st) = self.channels.get_mut(&chan) else { return };
+        st.rejoin_pending = false;
+        if st.upstream.is_some() || st.aggregate() == 0 {
+            return; // recovered via a route change, or nothing left to join
+        }
+        self.counters.rejoin_retries += 1;
+        ctx.count("ecmp.rejoin_retry", 1);
+        match ctx.rpf(chan.source).map(|h| (h.iface, ctx.ip_of(h.next))) {
+            Some(hop) => {
+                // apply_rehome sends the current aggregate upstream — the
+                // re-join proper (§3.2's Count to the new upstream router).
+                self.apply_rehome(ctx, chan, Some(hop));
+            }
+            None => self.arm_rejoin_retry(ctx, chan, attempt.saturating_add(1)),
+        }
     }
 }
 
@@ -1347,6 +1418,19 @@ impl Agent for EcmpRouter {
             if self.iface_mode(ctx, iface) == EcmpMode::Udp {
                 let delay = self.cfg.udp_refresh;
                 self.alloc_timer(ctx, delay, TimerPurpose::UdpRefresh { iface });
+                // Startup query: a router restarting after a crash solicits
+                // Counts immediately so edge subscriptions re-aggregate
+                // within a round-trip instead of a refresh interval.
+                if self.cfg.boot_query {
+                    let q = EcmpMessage::from(CountQuery {
+                        channel: Channel::new(Ipv4Addr::ECMP_LOCALHOST_SOURCE, 0).expect("wellknown"),
+                        count_id: CountId::ALL_CHANNELS,
+                        timeout_ms: 1_000,
+                        proactive: None,
+                    });
+                    self.send_ecmp_multicast(ctx, iface, q);
+                    ctx.count("ecmp.boot_query", 1);
+                }
             }
             // §3.3 neighbor discovery on every interface. Stagger the first
             // probe so a cold-started network doesn't thunder.
@@ -1436,12 +1520,44 @@ impl Agent for EcmpRouter {
                 count_id,
                 timeout,
             } => self.initiate_count(ctx, channel, count_id, timeout),
+            TimerPurpose::RejoinRetry { channel, attempt } => self.rejoin_retry(ctx, channel, attempt),
         }
         self.flush_tx(ctx);
     }
 
     fn on_link_change(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, up: bool) {
         if up {
+            // A TCP-mode connection re-established (link restored, or the
+            // neighbor restarted after a crash): re-send our aggregate for
+            // every channel homed on this interface so an upstream that
+            // lost its soft state re-learns the subtree. Idempotent for an
+            // upstream that kept its state — the Count simply confirms the
+            // value it already holds.
+            let mut readvertise: Vec<(Channel, u64, Option<ChannelKey>)> = Vec::new();
+            for (chan, st) in self.channels.iter_mut() {
+                if let Some((ui, _)) = st.upstream {
+                    if ui == iface {
+                        let agg = st.aggregate();
+                        if agg > 0 {
+                            st.advertised = agg;
+                            readvertise.push((*chan, agg, st.cached_key));
+                        }
+                    }
+                }
+            }
+            for (chan, agg, key) in readvertise {
+                let Some(st) = self.channels.get(&chan) else { continue };
+                let Some((ui, ua)) = st.upstream else { continue };
+                ctx.count("ecmp.readvertise", 1);
+                let msg = EcmpMessage::from(Count {
+                    channel: chan,
+                    count_id: CountId::SUBSCRIBERS,
+                    count: agg,
+                    key,
+                });
+                self.send_ecmp(ctx, ui, ua, msg);
+            }
+            self.flush_tx(ctx);
             return;
         }
         // §3.2 TCP mode: "The associated count is subtracted from the sum

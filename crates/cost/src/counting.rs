@@ -6,10 +6,9 @@
 //! of the subscriber count — the implosion-freedom ECMP has over
 //! application-layer feedback schemes (§7.3).
 
-use serde::Serialize;
 
 /// Cost of one polled count over a tree with `tree_links` links.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PollCost {
     /// Links in the distribution tree.
     pub tree_links: u64,

@@ -15,7 +15,6 @@
 //! The `1/u` term "accounts for the fact that the FIB must, on average,
 //! have unused entries to accommodate the peak demand".
 
-use serde::Serialize;
 
 /// Figure 6's parameters with the paper's published constants as defaults.
 ///
@@ -27,7 +26,7 @@ use serde::Serialize;
 /// let conf = model.conference_example();
 /// assert!(conf.total_dollars < 0.08);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FibCostModel {
     /// `m`: dollars per byte of fast-path SRAM. Paper: $55 per megabyte of
     /// 4 ns SRAM (early-1998 quote, reference \[17\]) — 55 × 10⁻⁶ $/B.
@@ -52,7 +51,7 @@ impl Default for FibCostModel {
 }
 
 /// One evaluated scenario, for table printing.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FibCostBreakdown {
     /// Upper bound on FIB entries used network-wide (k·n·h or measured).
     pub entries: f64,

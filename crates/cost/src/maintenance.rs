@@ -7,10 +7,9 @@
 //! messages every 20 minutes, and sends two million ... approximately 5000
 //! Count events per second."
 
-use serde::Serialize;
 
 /// The §5.3 message-rate/CPU model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MaintenanceModel {
     /// Active channels at the router.
     pub channels: u64,
@@ -44,7 +43,7 @@ impl Default for MaintenanceModel {
 }
 
 /// Evaluated rates for one configuration.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MaintenanceRates {
     /// Count messages received per second.
     pub rx_per_sec: f64,

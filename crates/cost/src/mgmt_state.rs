@@ -8,10 +8,9 @@
 //! is 192 bytes ... Adding another eight bytes to store K(S,E), the total
 //! size is 200 bytes."
 
-use serde::Serialize;
 
 /// The §5.2 management-state model with the paper's constants as defaults.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MgmtStateModel {
     /// Bytes per count record including implementation fields (paper: 32,
     /// doubling the 16-byte [channel, countId, count] triple).

@@ -7,10 +7,9 @@
 //! add relay points as necessary to scale the 'SR capacity' of an
 //! enterprise network."
 
-use serde::Serialize;
 
 /// The SR capacity model with the paper's 1999 constants as defaults.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RelayCapacityModel {
     /// Forwarding rate of one SR host in bits per second (paper: 100 Mb/s).
     pub forwarding_bps: f64,

@@ -30,7 +30,7 @@ use express_wire::addr::Ipv4Addr;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::any::Any;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 /// An opaque timer cookie chosen by the agent; returned verbatim in
@@ -45,6 +45,25 @@ pub enum Reliability {
     /// Never lost, in-order per link (TCP neighbor mode with retransmission
     /// abstracted; see module docs).
     Reliable,
+}
+
+/// A structured description of one topology transition, delivered to every
+/// live agent via [`Agent::on_topology_change`]. This is the protocol-facing
+/// half of the failure model documented in `docs/FAILURE_MODEL.md`: agents
+/// that need to distinguish *what* changed (rather than just "routing is
+/// different now", which [`Agent::on_route_change`] conveys) match on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyChange {
+    /// A link went down (scheduled fault or router crash).
+    LinkDown(LinkId),
+    /// A link came back up.
+    LinkUp(LinkId),
+    /// A router crashed: its agent — and all its soft state — is gone, and
+    /// every link that was up at the instant of the crash is now down.
+    NodeDown(NodeId),
+    /// A crashed router restarted with a fresh agent (empty soft state);
+    /// the links downed by its crash are back up.
+    NodeUp(NodeId),
 }
 
 /// Who on the link receives a transmitted frame.
@@ -80,6 +99,14 @@ pub trait Agent {
     /// this to re-evaluate per-channel RPF interfaces (§3.2 re-homing).
     fn on_route_change(&mut self, _ctx: &mut Ctx<'_>) {}
 
+    /// A topology transition happened somewhere in the network. Delivered
+    /// to *every* live agent (not just link endpoints) after the affected
+    /// links flipped and routing was invalidated, and immediately before
+    /// the [`on_route_change`](Self::on_route_change) sweep. Protocols that
+    /// care what changed — not merely that routes moved — implement this;
+    /// e.g. a PIM RP could watch for [`TopologyChange::NodeDown`] of a peer.
+    fn on_topology_change(&mut self, _ctx: &mut Ctx<'_>, _change: TopologyChange) {}
+
     /// Downcasting hook for inspection.
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
@@ -104,10 +131,25 @@ enum EventKind {
     Timer {
         node: NodeId,
         token: TimerToken,
+        /// Node restart epoch at scheduling time; a timer set by a crashed
+        /// agent must not fire into its replacement.
+        epoch: u64,
     },
     LinkChange {
         link: LinkId,
         up: bool,
+    },
+    /// Router crash (`up: false`) / restart (`up: true`); see
+    /// [`Sim::schedule_crash`].
+    NodeChange {
+        node: NodeId,
+        up: bool,
+    },
+    /// Set (`Some`) or clear (`None`) a temporary loss-probability override
+    /// on a link — the building block of time-windowed loss bursts.
+    LossChange {
+        link: LinkId,
+        loss: Option<f64>,
     },
 }
 
@@ -151,6 +193,13 @@ struct World {
     seq: u64,
     queue: BinaryHeap<Event>,
     events_processed: u64,
+    /// Per-node "process is down" flag (router crash); arrivals and timers
+    /// for a down node are discarded.
+    node_down: Vec<bool>,
+    /// Per-node restart epoch, bumped at each crash; guards stale timers.
+    node_epoch: Vec<u64>,
+    /// Temporary per-link loss-probability overrides (loss bursts).
+    loss_override: HashMap<LinkId, f64>,
 }
 
 impl World {
@@ -273,10 +322,11 @@ impl<'a> Ctx<'a> {
                     }
             })
             .collect();
+        let loss = self.world.loss_override.get(&link).copied().unwrap_or(spec.loss);
         for (n, i) in endpoints {
             let lost = rel == Reliability::Datagram
-                && spec.loss > 0.0
-                && self.world.rng.random::<f64>() < spec.loss;
+                && loss > 0.0
+                && self.world.rng.random::<f64>() < loss;
             if lost {
                 self.world.stats.record_drop(link);
                 continue;
@@ -298,15 +348,30 @@ impl<'a> Ctx<'a> {
     pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
         let node = self.node;
         let at = self.world.now + delay;
-        self.world.push(at, EventKind::Timer { node, token });
+        let epoch = self.world.node_epoch[node.index()];
+        self.world.push(at, EventKind::Timer { node, token, epoch });
+    }
+
+    /// Whether `node`'s process is currently up (routers crashed by a
+    /// scheduled fault are down until their restart).
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        !self.world.node_down[node.index()]
     }
 }
+
+/// A factory producing a fresh agent for a restarted router.
+pub type AgentFactory = Box<dyn Fn() -> Box<dyn Agent>>;
 
 /// The simulation: topology + agents + event queue.
 pub struct Sim {
     world: World,
     agents: Vec<Option<Box<dyn Agent>>>,
     started: bool,
+    /// Links downed by a node's crash, restored at its restart.
+    crash_downed_links: HashMap<NodeId, Vec<LinkId>>,
+    /// Per-node factories used by [`schedule_restart`](Self::schedule_restart)
+    /// to build the post-restart agent (empty soft state).
+    restart_factories: HashMap<NodeId, AgentFactory>,
 }
 
 impl Sim {
@@ -326,9 +391,14 @@ impl Sim {
                 seq: 0,
                 queue: BinaryHeap::new(),
                 events_processed: 0,
+                node_down: vec![false; n],
+                node_epoch: vec![0; n],
+                loss_override: HashMap::new(),
             },
             agents: (0..n).map(|_| Some(Box::new(NullAgent) as Box<dyn Agent>)).collect(),
             started: false,
+            crash_downed_links: HashMap::new(),
+            restart_factories: HashMap::new(),
         }
     }
 
@@ -388,10 +458,49 @@ impl Sim {
         self.world.push(at, EventKind::LinkChange { link, up });
     }
 
+    /// Schedule a router crash at absolute time `at`: the node's agent —
+    /// and with it all channel/count soft state — is discarded (replaced
+    /// by a [`NullAgent`]), every link that was up at that instant goes
+    /// down (neighbors see [`Agent::on_link_change`], the §3.2 TCP-mode
+    /// connection-failure notification), timers the dead agent had pending
+    /// are invalidated, and unicast routing re-converges around the node.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        self.world.push(at, EventKind::NodeChange { node, up: false });
+    }
+
+    /// Schedule a restart of a crashed router at absolute time `at`: the
+    /// links its crash downed come back, a fresh agent is built by the
+    /// factory registered via [`set_restart_factory`](Self::set_restart_factory)
+    /// (or a [`NullAgent`] when none is registered) and started with empty
+    /// soft state, and routing re-converges. A restart for a node that is
+    /// not down is ignored.
+    pub fn schedule_restart(&mut self, at: SimTime, node: NodeId) {
+        self.world.push(at, EventKind::NodeChange { node, up: true });
+    }
+
+    /// Register the factory that builds `node`'s post-restart agent.
+    pub fn set_restart_factory(&mut self, node: NodeId, factory: AgentFactory) {
+        self.restart_factories.insert(node, factory);
+    }
+
+    /// Schedule a loss-probability override on `link` at `at`: `Some(p)`
+    /// makes datagrams on the link drop with probability `p` regardless of
+    /// the link spec; `None` restores the spec's loss. Two of these back to
+    /// back form a time-windowed loss burst (see `faults::FaultPlan`).
+    pub fn schedule_loss_override(&mut self, at: SimTime, link: LinkId, loss: Option<f64>) {
+        self.world.push(at, EventKind::LossChange { link, loss });
+    }
+
+    /// Whether `node`'s process is up (false between a crash and restart).
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        !self.world.node_down[node.index()]
+    }
+
     /// Schedule a timer for `node` at absolute time `at` — the hook
     /// workload generators use to drive join/leave churn.
     pub fn schedule_timer_at(&mut self, node: NodeId, at: SimTime, token: TimerToken) {
-        self.world.push(at, EventKind::Timer { node, token });
+        let epoch = self.world.node_epoch[node.index()];
+        self.world.push(at, EventKind::Timer { node, token, epoch });
     }
 
     /// Dispatch `on_start` to every agent (idempotent; also called by the
@@ -434,7 +543,11 @@ impl Sim {
                 bytes,
                 class,
             } => {
-                // Frames in flight when a link died are dropped on arrival.
+                // Frames in flight when a link died are dropped on arrival,
+                // as are frames addressed to a crashed node.
+                if self.world.node_down[node.index()] {
+                    return true;
+                }
                 if let Ok(link) = self.world.topo.link_of(node, iface) {
                     if !self.world.topo.link_up(link) {
                         return true;
@@ -442,7 +555,12 @@ impl Sim {
                 }
                 self.with_agent(node, |agent, ctx| agent.on_packet(ctx, iface, &bytes, class));
             }
-            EventKind::Timer { node, token } => {
+            EventKind::Timer { node, token, epoch } => {
+                // Timers from before a crash die with the agent that set
+                // them; a down node runs nothing.
+                if self.world.node_down[node.index()] || self.world.node_epoch[node.index()] != epoch {
+                    return true;
+                }
                 self.with_agent(node, |agent, ctx| agent.on_timer(ctx, token));
             }
             EventKind::LinkChange { link, up } => {
@@ -454,14 +572,111 @@ impl Sim {
                 let endpoints: Vec<(NodeId, IfaceId)> =
                     self.world.topo.link_endpoints(link).to_vec();
                 for (n, i) in endpoints {
-                    self.with_agent(n, |agent, ctx| agent.on_link_change(ctx, i, up));
+                    if !self.world.node_down[n.index()] {
+                        self.with_agent(n, |agent, ctx| agent.on_link_change(ctx, i, up));
+                    }
                 }
-                for idx in 0..self.agents.len() {
-                    self.with_agent(NodeId(idx as u32), |agent, ctx| agent.on_route_change(ctx));
+                let change = if up { TopologyChange::LinkUp(link) } else { TopologyChange::LinkDown(link) };
+                self.notify_topology_change(change);
+            }
+            EventKind::NodeChange { node, up } => {
+                if up {
+                    self.process_restart(node);
+                } else {
+                    self.process_crash(node);
+                }
+            }
+            EventKind::LossChange { link, loss } => match loss {
+                Some(p) => {
+                    self.world.loss_override.insert(link, p);
+                }
+                None => {
+                    self.world.loss_override.remove(&link);
+                }
+            },
+        }
+        true
+    }
+
+    /// Deliver `change` to every live agent, then run the
+    /// [`Agent::on_route_change`] sweep (routing was already invalidated).
+    fn notify_topology_change(&mut self, change: TopologyChange) {
+        for idx in 0..self.agents.len() {
+            if !self.world.node_down[idx] {
+                self.with_agent(NodeId(idx as u32), |agent, ctx| {
+                    agent.on_topology_change(ctx, change)
+                });
+            }
+        }
+        for idx in 0..self.agents.len() {
+            if !self.world.node_down[idx] {
+                self.with_agent(NodeId(idx as u32), |agent, ctx| agent.on_route_change(ctx));
+            }
+        }
+    }
+
+    fn process_crash(&mut self, node: NodeId) {
+        if self.world.node_down[node.index()] {
+            return;
+        }
+        self.world.node_down[node.index()] = true;
+        self.world.node_epoch[node.index()] += 1;
+        // Soft state dies with the process (§3.2: everything a router knows
+        // about channels and counts is soft state rebuilt by the protocol).
+        self.agents[node.index()] = Some(Box::new(NullAgent));
+        // Every up link attached to the node drops; remember which, so the
+        // restart restores exactly those.
+        let links: Vec<LinkId> = self
+            .world
+            .topo
+            .links_of(node)
+            .into_iter()
+            .filter(|&l| self.world.topo.link_up(l))
+            .collect();
+        for &l in &links {
+            self.world.topo.set_link_up(l, false);
+        }
+        self.crash_downed_links.insert(node, links.clone());
+        self.world.routing.invalidate();
+        for &l in &links {
+            let endpoints: Vec<(NodeId, IfaceId)> = self.world.topo.link_endpoints(l).to_vec();
+            for (n, i) in endpoints {
+                if n != node && !self.world.node_down[n.index()] {
+                    self.with_agent(n, |agent, ctx| agent.on_link_change(ctx, i, false));
                 }
             }
         }
-        true
+        self.notify_topology_change(TopologyChange::NodeDown(node));
+    }
+
+    fn process_restart(&mut self, node: NodeId) {
+        if !self.world.node_down[node.index()] {
+            return;
+        }
+        self.world.node_down[node.index()] = false;
+        let links = self.crash_downed_links.remove(&node).unwrap_or_default();
+        for &l in &links {
+            self.world.topo.set_link_up(l, true);
+        }
+        self.world.routing.invalidate();
+        // Fresh process: factory-built agent with empty soft state.
+        let agent = match self.restart_factories.get(&node) {
+            Some(f) => f(),
+            None => Box::new(NullAgent),
+        };
+        self.agents[node.index()] = Some(agent);
+        if self.started {
+            self.with_agent(node, |agent, ctx| agent.on_start(ctx));
+        }
+        for &l in &links {
+            let endpoints: Vec<(NodeId, IfaceId)> = self.world.topo.link_endpoints(l).to_vec();
+            for (n, i) in endpoints {
+                if !self.world.node_down[n.index()] {
+                    self.with_agent(n, |agent, ctx| agent.on_link_change(ctx, i, true));
+                }
+            }
+        }
+        self.notify_topology_change(TopologyChange::NodeUp(node));
     }
 
     /// Run until the queue drains.

@@ -19,6 +19,13 @@
 //! * **Two neighbor transports.** Lossy datagram delivery, and a reliable
 //!   single-hop stream ([`transport`]) modelling ECMP's TCP mode: in-order,
 //!   loss-free, with connection-failure notification when the link dies.
+//! * **Scripted fault injection.** [`faults::FaultPlan`] schedules link
+//!   down/up, router crash/restart (all agent soft state lost; rebuilt via
+//!   a restart factory) and time-windowed loss bursts through the same
+//!   event queue, so failure runs replay deterministically. Agents observe
+//!   faults through `on_link_change`/`on_topology_change`/`on_route_change`
+//!   — the §3.2 recovery hooks. The contract every protocol implements
+//!   against this machinery is documented in `docs/FAILURE_MODEL.md`.
 //!
 //! The simulation loop dispatches to user protocol logic through the
 //! [`engine::Agent`] trait; see the `express` crate for the canonical agents.
@@ -27,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod id;
 pub mod routing;
 pub mod stats;
@@ -35,7 +43,8 @@ pub mod topogen;
 pub mod topology;
 pub mod transport;
 
-pub use engine::{Agent, Ctx, Sim, TimerToken};
+pub use engine::{Agent, Ctx, Sim, TimerToken, TopologyChange};
+pub use faults::{FaultEvent, FaultPlan};
 pub use id::{IfaceId, LinkId, NodeId};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkSpec, NodeKind, Topology};

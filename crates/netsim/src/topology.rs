@@ -286,6 +286,15 @@ impl Topology {
         out
     }
 
+    /// Every link attached to `node`, in interface order.
+    pub fn links_of(&self, node: NodeId) -> Vec<LinkId> {
+        let mut out: Vec<LinkId> = (0..self.iface_count(node))
+            .filter_map(|i| self.link_of(node, IfaceId(i as u8)).ok())
+            .collect();
+        out.dedup();
+        out
+    }
+
     /// The interface of `node` that attaches to `link`, if any.
     pub fn iface_on_link(&self, node: NodeId, link: LinkId) -> Option<IfaceId> {
         self.links[link.index()]

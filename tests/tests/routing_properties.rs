@@ -1,61 +1,96 @@
-//! Property-based tests on the unicast routing substrate — the foundation
+//! Randomized tests on the unicast routing substrate — the foundation
 //! ECMP's RPF correctness rests on (§3: "relies on, and scales with,
 //! existing unicast topology information").
+//!
+//! Formerly proptest properties; now deterministic seeded sweeps over the
+//! vendored `rand` shim (offline builds have no registry access). Each
+//! case prints its seed on failure so it can be replayed in isolation.
 
 use netsim::routing::Routing;
 use netsim::topogen;
 use netsim::topology::LinkSpec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 48;
 
-    /// On any random connected graph: every next hop strictly decreases the
-    /// distance to the destination (no loops possible), and following next
-    /// hops always terminates at the destination.
-    #[test]
-    fn next_hops_decrease_distance(n_routers in 2usize..40, extra in 0usize..30, seed in any::<u64>()) {
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x5EED_0001)
+}
+
+/// On any random connected graph: every next hop strictly decreases the
+/// distance to the destination (no loops possible), and following next
+/// hops always terminates at the destination.
+#[test]
+fn next_hops_decrease_distance() {
+    let mut r = rng();
+    for case in 0..CASES {
+        let n_routers = r.random_range(2usize..40);
+        let extra = r.random_range(0usize..30);
+        let seed: u64 = r.random();
         let g = topogen::random_connected(n_routers, extra, 0, LinkSpec::default(), seed);
-        let mut r = Routing::new();
+        let mut rt = Routing::new();
         for a in g.topo.node_ids() {
             for b in g.topo.node_ids() {
-                if a == b { continue; }
-                let d_ab = r.distance(&g.topo, a, b).expect("connected");
-                if let Some(hop) = r.next_hop(&g.topo, a, b) {
-                    let d_nb = r.distance(&g.topo, hop.next, b).unwrap_or(0);
-                    prop_assert!(d_nb < d_ab, "next hop strictly closer");
-                    prop_assert_eq!(hop.metric, d_ab);
+                if a == b {
+                    continue;
                 }
-                let path = r.path(&g.topo, a, b).expect("reachable");
-                prop_assert_eq!(*path.first().unwrap(), a);
-                prop_assert_eq!(*path.last().unwrap(), b);
-                prop_assert_eq!(path.len() - 1, d_ab as usize, "unit metrics: hops == distance");
+                let d_ab = rt.distance(&g.topo, a, b).expect("connected");
+                if let Some(hop) = rt.next_hop(&g.topo, a, b) {
+                    let d_nb = rt.distance(&g.topo, hop.next, b).unwrap_or(0);
+                    assert!(d_nb < d_ab, "case {case} (seed {seed}): next hop strictly closer");
+                    assert_eq!(hop.metric, d_ab, "case {case} (seed {seed})");
+                }
+                let path = rt.path(&g.topo, a, b).expect("reachable");
+                assert_eq!(*path.first().unwrap(), a, "case {case} (seed {seed})");
+                assert_eq!(*path.last().unwrap(), b, "case {case} (seed {seed})");
+                assert_eq!(
+                    path.len() - 1,
+                    d_ab as usize,
+                    "case {case} (seed {seed}): unit metrics: hops == distance"
+                );
             }
         }
     }
+}
 
-    /// Distances are symmetric on undirected unit-metric graphs — the
-    /// assumption behind RPF joins building the same tree data follows
-    /// (§4.5 "assuming symmetric paths").
-    #[test]
-    fn distances_symmetric(n_routers in 2usize..30, extra in 0usize..20, seed in any::<u64>()) {
+/// Distances are symmetric on undirected unit-metric graphs — the
+/// assumption behind RPF joins building the same tree data follows
+/// (§4.5 "assuming symmetric paths").
+#[test]
+fn distances_symmetric() {
+    let mut r = rng();
+    for case in 0..CASES {
+        let n_routers = r.random_range(2usize..30);
+        let extra = r.random_range(0usize..20);
+        let seed: u64 = r.random();
         let g = topogen::random_connected(n_routers, extra, 0, LinkSpec::default(), seed);
-        let mut r = Routing::new();
+        let mut rt = Routing::new();
         for a in g.topo.node_ids() {
             for b in g.topo.node_ids() {
-                prop_assert_eq!(r.distance(&g.topo, a, b), r.distance(&g.topo, b, a));
+                assert_eq!(
+                    rt.distance(&g.topo, a, b),
+                    rt.distance(&g.topo, b, a),
+                    "case {case} (seed {seed})"
+                );
             }
         }
     }
+}
 
-    /// The RPF interface at every node points along a shortest path toward
-    /// the source, and the union of RPF next hops from any subscriber set
-    /// forms a loop-free tree rooted at the source.
-    #[test]
-    fn rpf_union_is_a_tree(n_routers in 3usize..30, extra in 0usize..20,
-                           n_hosts in 2usize..10, seed in any::<u64>()) {
+/// The RPF interface at every node points along a shortest path toward
+/// the source, and the union of RPF next hops from any subscriber set
+/// forms a loop-free tree rooted at the source.
+#[test]
+fn rpf_union_is_a_tree() {
+    let mut r = rng();
+    for case in 0..CASES {
+        let n_routers = r.random_range(3usize..30);
+        let extra = r.random_range(0usize..20);
+        let n_hosts = r.random_range(2usize..10);
+        let seed: u64 = r.random();
         let g = topogen::random_connected(n_routers, extra, n_hosts, LinkSpec::default(), seed);
-        let mut r = Routing::new();
+        let mut rt = Routing::new();
         let src = g.hosts[0];
         let src_ip = g.topo.ip(src);
         // Walk RPF from every host; every walk must reach the source
@@ -64,24 +99,32 @@ proptest! {
             let mut cur = h;
             let mut seen = std::collections::HashSet::new();
             while cur != src {
-                prop_assert!(seen.insert(cur), "RPF loop at {cur}");
-                let hop = r.rpf(&g.topo, cur, src_ip).expect("source reachable");
+                assert!(seen.insert(cur), "case {case} (seed {seed}): RPF loop at {cur}");
+                let hop = rt.rpf(&g.topo, cur, src_ip).expect("source reachable");
                 cur = hop.next;
             }
         }
     }
+}
 
-    /// Determinism: identical topology + seed give identical routing
-    /// tables (spot-checked via full path sets).
-    #[test]
-    fn routing_deterministic(seed in any::<u64>()) {
+/// Determinism: identical topology + seed give identical routing
+/// tables (spot-checked via full path sets).
+#[test]
+fn routing_deterministic() {
+    let mut r = rng();
+    for case in 0..CASES {
+        let seed: u64 = r.random();
         let g1 = topogen::random_connected(20, 10, 5, LinkSpec::default(), seed);
         let g2 = topogen::random_connected(20, 10, 5, LinkSpec::default(), seed);
         let mut r1 = Routing::new();
         let mut r2 = Routing::new();
         for a in g1.topo.node_ids() {
             for b in g1.topo.node_ids() {
-                prop_assert_eq!(r1.path(&g1.topo, a, b), r2.path(&g2.topo, a, b));
+                assert_eq!(
+                    r1.path(&g1.topo, a, b),
+                    r2.path(&g2.topo, a, b),
+                    "case {case} (seed {seed})"
+                );
             }
         }
     }

@@ -1,0 +1,278 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmarking
+//! crate, vendored so the workspace builds fully offline.
+//!
+//! It implements the subset of the criterion 0.7 API the `express-bench`
+//! benches use — `criterion_group!`/`criterion_main!`, `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, `BenchmarkId`,
+//! `Throughput`, `BatchSize` — with a simple adaptive-iteration timer in
+//! place of criterion's statistical machinery. Each benchmark is calibrated
+//! briefly, then timed and reported as a single mean ns/iter line:
+//!
+//! ```text
+//! bench fib/lookup/hit/1000 ... 13 ns/iter (xN)
+//! ```
+//!
+//! Good enough to rank order and spot regressions by eye; swap the real
+//! criterion back in (workspace `Cargo.toml`) when registry access exists.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batches are sized in [`Bencher::iter_batched`]. The stub treats all
+/// variants identically (one setup per timed call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One setup per batch.
+    PerIteration,
+}
+
+/// Throughput annotation; recorded but only echoed in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark identifier, `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("hit", 1000)` → `hit/1000`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id with no function name, just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark timing driver passed to bench closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter*`.
+    ns_per_iter: f64,
+    iters_run: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            ns_per_iter: 0.0,
+            iters_run: 0,
+            budget,
+        }
+    }
+
+    /// Time `routine`, adaptively choosing an iteration count to fill the
+    /// measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: run once to estimate cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = (self.budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        let total = t1.elapsed();
+        self.iters_run = target;
+        self.ns_per_iter = total.as_nanos() as f64 / target as f64;
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = (self.budget.as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.iters_run = target;
+        self.ns_per_iter = total.as_nanos() as f64 / target as f64;
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) if b.ns_per_iter > 0.0 => {
+            format!(", {:.0} elem/s", n as f64 * 1e9 / b.ns_per_iter)
+        }
+        Some(Throughput::Bytes(n)) if b.ns_per_iter > 0.0 => {
+            format!(", {:.1} MiB/s", n as f64 * 1e9 / b.ns_per_iter / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<48} {:>12.0} ns/iter (x{}{thr})",
+        b.ns_per_iter, b.iters_run
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Reduce/raise sample count — maps onto the stub's time budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion's default is 100 samples; scale the budget accordingly.
+        self.budget = Duration::from_millis((n as u64).clamp(10, 100) * 2);
+        self
+    }
+
+    /// Set measurement time for each benchmark in the group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d.min(Duration::from_secs(2));
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl IdLike, mut f: R) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id_string()), &b, self.throughput);
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id_string()), &b, self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// Things usable as a benchmark id: `&str`, `String`, or [`BenchmarkId`].
+pub trait IdLike {
+    /// Rendered id.
+    fn id_string(&self) -> String;
+}
+
+impl IdLike for &str {
+    fn id_string(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLike for String {
+    fn id_string(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn id_string(&self) -> String {
+        self.id.clone()
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: R) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let budget = self.budget;
+        BenchmarkGroup {
+            name: name.into(),
+            budget,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Criterion-compat configuration hook (no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- <filter>` / `--bench` flags are accepted and
+            // ignored by the stub.
+            $( $group(); )+
+        }
+    };
+}

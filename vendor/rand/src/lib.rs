@@ -1,0 +1,204 @@
+//! Minimal, dependency-free, deterministic stand-in for the `rand` crate.
+//!
+//! The workspace builds in fully offline environments, so the external
+//! `rand` crate is replaced by this vendored shim exposing exactly the API
+//! surface the simulator uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and the [`RngExt`] extension methods `random()` / `random_range()`.
+//!
+//! The generator is SplitMix64 — 64-bit state, full period, passes the
+//! statistical quality bar a discrete-event network simulator needs
+//! (datagram loss draws, topology generation, IGMP report jitter). It is
+//! NOT cryptographic; nothing in the workspace needs a CSPRNG (channel
+//! keys in `express-core` are modeled as opaque `u64`s, not real secrets).
+//!
+//! Determinism contract: for a given seed, the sequence of draws is fixed
+//! across platforms and releases. Simulation results keyed by seed (see
+//! `netsim::Sim::new`) depend on this — do not change the algorithm.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    /// The standard simulator RNG: SplitMix64.
+    ///
+    /// 64-bit state, period 2^64, constant-time draws. Cloning captures the
+    /// stream position, so a cloned rng replays the same tail.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        /// Next raw 64-bit output (SplitMix64 step).
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+impl SeedableRng for rngs::StdRng {
+    #[inline]
+    fn seed_from_u64(seed: u64) -> Self {
+        // Scramble the seed once so seeds 0,1,2… give unrelated streams.
+        let mut rng = rngs::StdRng { state: seed };
+        let _ = rng.next_u64();
+        rng
+    }
+}
+
+/// Types drawable uniformly at random via [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn draw(rng: &mut rngs::StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn draw(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn draw(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u8 {
+    #[inline]
+    fn draw(rng: &mut rngs::StdRng) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Integer types usable as [`RngExt::random_range`] bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi)`. `hi > lo` is the caller's contract.
+    fn draw_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn draw_range(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                debug_assert!(span > 0, "random_range: empty range");
+                // Multiply-shift bounded draw (Lemire); bias is < 2^-64,
+                // far below anything a simulation can observe.
+                let x = rng.next_u64() as u128;
+                lo + ((x * span) >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Extension methods mirroring `rand 0.10`'s `Rng`/`RngExt` surface.
+pub trait RngExt {
+    /// A uniformly random value of type `T`.
+    fn random<T: Standard>(&mut self) -> T;
+    /// A uniformly random value in the half-open `range`.
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T;
+}
+
+impl RngExt for rngs::StdRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    #[inline]
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::draw_range(self, range.start, range.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = rngs::StdRng::seed_from_u64(0);
+        let mut b = rngs::StdRng::seed_from_u64(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = rngs::StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn range_respects_bounds_and_covers() {
+        let mut r = rngs::StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = r.random_range(0usize..10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+        for _ in 0..1000 {
+            let x = r.random_range(5u64..8);
+            assert!((5..8).contains(&x));
+        }
+    }
+
+    #[test]
+    fn clone_replays_stream() {
+        let mut a = rngs::StdRng::seed_from_u64(3);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
