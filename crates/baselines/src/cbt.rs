@@ -103,6 +103,7 @@ impl CbtRouter {
         };
         self.send_cbt(ctx, hop.iface, up, msg);
         self.counters.joins_tx += 1;
+        ctx.trace("cbt.join_tx", |e| e.chan(group).detail(format!("core {core}")));
     }
 
     fn handle_cbt(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, from: Ipv4Addr, msg: CbtMessage) {

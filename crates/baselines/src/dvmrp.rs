@@ -184,6 +184,7 @@ impl DvmrpRouter {
         util::send_control_to(ctx, hop.iface, up, Protocol::Other(200) /* DVMRP */, &msg.to_vec());
         self.counters.prunes_tx += 1;
         ctx.count("dvmrp.prune_tx", 1);
+        ctx.trace("dvmrp.prune_tx", |e| e.chan(g).detail(format!("source {s}")));
     }
 
     fn send_graft(&mut self, ctx: &mut Ctx<'_>, s: Ipv4Addr, g: Ipv4Addr) {
@@ -196,6 +197,7 @@ impl DvmrpRouter {
         util::send_control_to(ctx, hop.iface, up, Protocol::Other(200), &msg.to_vec());
         self.counters.grafts_tx += 1;
         ctx.count("dvmrp.graft_tx", 1);
+        ctx.trace("dvmrp.graft_tx", |e| e.chan(g).detail(format!("source {s}")));
     }
 
     fn handle_dvmrp(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, from: Ipv4Addr, msg: DvmrpMessage) {

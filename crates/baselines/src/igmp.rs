@@ -150,6 +150,7 @@ impl GroupHost {
         ctx.send(IfaceId(0), &pkt, TrafficClass::Control, Reliability::Datagram, Tx::AllOnLink);
         self.reports_sent += 1;
         ctx.count("igmp.report_tx", 1);
+        ctx.trace("igmp.report_tx", |e| e.chan(group));
     }
 
     fn do_action(&mut self, ctx: &mut Ctx<'_>, action: GroupHostAction) {

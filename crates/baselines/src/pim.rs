@@ -173,6 +173,7 @@ impl PimRouter {
         util::send_control_to(ctx, iface, upstream, Protocol::Pim, &msg.to_vec());
         self.counters.join_prunes_tx += 1;
         ctx.count("pim.join_prune_tx", 1);
+        ctx.trace("pim.join_prune_tx", |e| e.chan(group).detail(format!("to {upstream}")));
     }
 
     /// (Re-)send the (*,G) join toward the RP if we need the shared tree.
@@ -373,6 +374,7 @@ impl PimRouter {
             meta.on_spt = true;
             self.counters.spt_switches += 1;
             ctx.count("pim.spt_switch", 1);
+            ctx.trace("pim.spt_switch", |e| e.chan(g).detail(format!("source {s}")));
             self.join_source_tree(ctx, s, g);
             // Prune (S,G,rpt) toward the RP.
             if let Some(hop) = ctx.next_hop_ip(self.cfg.rp) {

@@ -35,7 +35,7 @@ use express_wire::addr::{Channel, Ipv4Addr};
 use mcast_baselines::igmp::{GroupHost, GroupHostAction, IgmpVersion};
 use mcast_baselines::{DvmrpRouter, PimConfig, PimRouter};
 use netsim::topology::LinkSpec;
-use netsim::{FaultPlan, LinkId, NodeId, Sim, SimDuration, Topology};
+use netsim::{FaultPlan, LinkId, MetricsConfig, NodeId, Sim, SimDuration, Topology};
 
 const STREAM_START_MS: u64 = 500;
 const STREAM_END_MS: u64 = 20_000;
@@ -74,18 +74,27 @@ fn diamond() -> Diamond {
     Diamond { topo: t, routers: [r0, r1, r2, r3], src, rcv, l13, l23, access }
 }
 
-/// One protocol's run: bucketed delivery/control series plus counters.
+/// One protocol's run: bucketed delivery/control series (read back from the
+/// metrics layer), exact delivery gaps, per-fault reconvergence times, and
+/// the recovery counters.
 struct RunResult {
     name: &'static str,
     sent: u64,
     delivered: u64,
     delivered_per_bucket: Vec<u64>,
     control_per_bucket: Vec<u64>,
+    /// Exact outage windows (ms) within the stream's active interval.
+    gaps_ms: Vec<(u64, u64)>,
+    /// Per recorded fault: a label and the fault→first-restored-delivery
+    /// time in µs (`None` if delivery never resumed).
+    reconvergence: Vec<(String, Option<u64>)>,
     counters: Vec<(&'static str, u64)>,
 }
 
 /// Drive the shared fault script. `delivered` reads the receiver's
-/// cumulative data count; `schedule_send` queues one stream packet.
+/// cumulative data count; `schedule_send` queues one stream packet; the
+/// delivery timeline comes from the metrics series of `delivery_key`
+/// (bucketed at count time by the engine — no driver-side stepping).
 fn run_script(
     name: &'static str,
     mut sim: Sim,
@@ -93,7 +102,9 @@ fn run_script(
     schedule_send: &dyn Fn(&mut Sim, u64),
     delivered: &dyn Fn(&mut Sim) -> u64,
     counter_names: &[&'static str],
+    delivery_key: &str,
 ) -> RunResult {
+    sim.enable_metrics(MetricsConfig::default().bucket(SimDuration::from_millis(BUCKET_MS)));
     let mut t = STREAM_START_MS;
     let mut sent = 0u64;
     while t <= STREAM_END_MS {
@@ -115,36 +126,28 @@ fn run_script(
         .crash_restart(victim, at_ms(12_000), at_ms(14_000))
         .loss_burst(d.access, at_ms(17_000), 1.0, SimDuration::from_secs(1))
         .apply(&mut sim);
+    sim.run_until(at_ms(RUN_END_MS));
 
-    let mut delivered_per_bucket = Vec::new();
-    let mut control_per_bucket = Vec::new();
-    // The 0–4.5 s prefix ran as one block (to pick the fault target), so
-    // spread its totals uniformly across those buckets; exact per-bucket
-    // detail matters only from the first fault onward.
-    let rx0 = delivered(&mut sim);
-    let ctrl0 = sim.stats().total().control_packets;
-    let prefix_buckets = (4_500 / BUCKET_MS) as usize;
-    for i in 0..prefix_buckets {
-        let share = |total: u64| {
-            (total * (i as u64 + 1) / prefix_buckets as u64) - (total * i as u64 / prefix_buckets as u64)
-        };
-        delivered_per_bucket.push(share(rx0));
-        control_per_bucket.push(share(ctrl0));
-    }
-    let mut last_rx = rx0;
-    let mut last_ctrl = ctrl0;
-    let mut bucket_end = 4_500 + BUCKET_MS;
-    while bucket_end <= RUN_END_MS {
-        sim.run_until(at_ms(bucket_end));
-        let rx = delivered(&mut sim);
-        let ctrl = sim.stats().total().control_packets;
-        delivered_per_bucket.push(rx - last_rx);
-        control_per_bucket.push(ctrl - last_ctrl);
-        last_rx = rx;
-        last_ctrl = ctrl;
-        bucket_end += BUCKET_MS;
-    }
-
+    let delivered_total = delivered(&mut sim);
+    let m = sim.metrics().expect("metrics enabled above");
+    let n_buckets = (RUN_END_MS / BUCKET_MS) as usize;
+    let pad = |s: &[u64]| {
+        let mut v = s.to_vec();
+        v.resize(n_buckets.max(v.len()), 0);
+        v
+    };
+    let delivered_per_bucket = pad(m.series(delivery_key));
+    let control_per_bucket = pad(m.series("link.control_pkts"));
+    let gaps_ms = m
+        .delivery_gaps(at_ms(STREAM_START_MS), at_ms(STREAM_END_MS), SimDuration::from_millis(BUCKET_MS))
+        .into_iter()
+        .map(|(a, b)| (a.millis(), b.millis()))
+        .collect();
+    let reconvergence = m
+        .reconvergence_report()
+        .into_iter()
+        .map(|(at, change, rec)| (format!("{change:?}@{}ms", at.millis()), rec.map(|r| r.micros())))
+        .collect();
     let counters = counter_names
         .iter()
         .map(|&n| (n, sim.stats().named(n)))
@@ -152,9 +155,11 @@ fn run_script(
     RunResult {
         name,
         sent,
-        delivered: delivered(&mut sim),
+        delivered: delivered_total,
         delivered_per_bucket,
         control_per_bucket,
+        gaps_ms,
+        reconvergence,
         counters,
     }
 }
@@ -188,6 +193,7 @@ fn express_run(name: &'static str, cfg: RouterConfig) -> RunResult {
             "ecmp.readvertise",
             "ecmp.expire",
         ],
+        "host.data_rx",
     )
 }
 
@@ -232,27 +238,8 @@ fn baseline_run(name: &'static str, pim: bool) -> RunResult {
         },
         &move |sim: &mut Sim| sim.agent_as::<GroupHost>(rcv).map(|h| h.data_received(group()) as u64).unwrap_or(0),
         counters,
+        "group.data_rx",
     )
-}
-
-/// Buckets (absolute ms) where the stream was active but nothing arrived.
-fn gap_windows(r: &RunResult) -> Vec<(u64, u64)> {
-    let mut gaps = Vec::new();
-    let mut open: Option<u64> = None;
-    for (i, &n) in r.delivered_per_bucket.iter().enumerate() {
-        let start = i as u64 * BUCKET_MS;
-        let end = start + BUCKET_MS;
-        let active = end > STREAM_START_MS + BUCKET_MS && start < STREAM_END_MS;
-        if active && n == 0 {
-            open.get_or_insert(start);
-        } else if let Some(s) = open.take() {
-            gaps.push((s, start));
-        }
-    }
-    if let Some(s) = open {
-        gaps.push((s, RUN_END_MS));
-    }
-    gaps
 }
 
 fn json_u64_array(v: &[u64]) -> String {
@@ -268,9 +255,18 @@ fn write_json(results: &[RunResult]) -> std::io::Result<String> {
             .iter()
             .map(|(k, v)| format!("\"{k}\":{v}"))
             .collect();
-        let gaps: Vec<String> = gap_windows(r)
+        let gaps: Vec<String> = r
+            .gaps_ms
             .iter()
             .map(|(s, e)| format!("[{s},{e}]"))
+            .collect();
+        let reconv: Vec<String> = r
+            .reconvergence
+            .iter()
+            .map(|(label, rec)| match rec {
+                Some(us) => format!("{{\"fault\":\"{label}\",\"reconvergence_us\":{us}}}"),
+                None => format!("{{\"fault\":\"{label}\",\"reconvergence_us\":null}}"),
+            })
             .collect();
         protos.push(format!(
             concat!(
@@ -279,6 +275,7 @@ fn write_json(results: &[RunResult]) -> std::io::Result<String> {
                 "      \"sent\": {},\n",
                 "      \"delivered\": {},\n",
                 "      \"gap_windows_ms\": [{}],\n",
+                "      \"reconvergence\": [{}],\n",
                 "      \"counters\": {{{}}},\n",
                 "      \"delivered_per_bucket\": {},\n",
                 "      \"control_per_bucket\": {}\n",
@@ -288,6 +285,7 @@ fn write_json(results: &[RunResult]) -> std::io::Result<String> {
             r.sent,
             r.delivered,
             gaps.join(","),
+            reconv.join(","),
             counters.join(","),
             json_u64_array(&r.delivered_per_bucket),
             json_u64_array(&r.control_per_bucket),
@@ -384,12 +382,17 @@ fn main() {
             let got: u64 = r.delivered_per_bucket[from..to].iter().sum();
             println!("  lost in the 1 s after {label}: {:>3} of 100", 100u64.saturating_sub(got));
         }
-        let gaps = gap_windows(r);
-        if gaps.is_empty() {
-            println!("  no delivery gap at bucket resolution ({BUCKET_MS} ms)");
+        if r.gaps_ms.is_empty() {
+            println!("  no delivery gap of {BUCKET_MS} ms or more");
         }
-        for (s, e) in &gaps {
+        for (s, e) in &r.gaps_ms {
             println!("  delivery gap {:.1}-{:.1} s ({} ms)", *s as f64 / 1e3, *e as f64 / 1e3, e - s);
+        }
+        for (label, rec) in &r.reconvergence {
+            match rec {
+                Some(us) => println!("  reconvergence after {label}: {:.1} ms", *us as f64 / 1e3),
+                None => println!("  reconvergence after {label}: never"),
+            }
         }
         for (k, v) in &r.counters {
             if *v > 0 {

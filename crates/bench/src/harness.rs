@@ -181,10 +181,13 @@ pub fn series_at(series: &[(f64, u64)], t: f64) -> u64 {
         .unwrap_or(0)
 }
 
+/// One chart series: legend name, plot glyph, and the step series itself.
+pub type ChartSeries<'a> = (&'a str, char, &'a [(f64, u64)]);
+
 /// Render a step series as a rough ASCII chart: `height` rows, one column
 /// per `t_step` seconds over [0, t_max]. Multiple series share the frame,
 /// each drawn with its own glyph.
-pub fn ascii_chart(series: &[(&str, char, &[(f64, u64)])], t_max: f64, t_step: f64, height: usize) {
+pub fn ascii_chart(series: &[ChartSeries<'_>], t_max: f64, t_step: f64, height: usize) {
     let cols = (t_max / t_step) as usize + 1;
     let y_max = series
         .iter()
@@ -194,8 +197,7 @@ pub fn ascii_chart(series: &[(&str, char, &[(f64, u64)])], t_max: f64, t_step: f
         .max(1);
     let mut grid = vec![vec![' '; cols]; height];
     for (_, glyph, s) in series {
-        for c in 0..cols {
-            let t = c as f64 * t_step;
+        for (c, t) in (0..cols).map(|c| (c, c as f64 * t_step)) {
             let v = series_at(s, t);
             let r = ((v as f64 / y_max as f64) * (height - 1) as f64).round() as usize;
             let row = height - 1 - r.min(height - 1);

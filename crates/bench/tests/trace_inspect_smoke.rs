@@ -1,0 +1,60 @@
+//! Smoke test: the `trace_inspect` binary runs end-to-end — builds a small
+//! EXPRESS topology, captures a trace, round-trips it through JSONL, and
+//! renders every report section — inside `cargo test`.
+
+use std::process::Command;
+
+#[test]
+fn demo_runs_and_renders_every_section() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trace_inspect"))
+        .arg("--demo")
+        .output()
+        .expect("spawn trace_inspect");
+    assert!(
+        out.status.success(),
+        "trace_inspect --demo failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "per-node timeline",
+        "per-channel delivery latency",
+        "data packet paths",
+        "deliveries",
+        "chain p",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in output:\n{stdout}");
+    }
+}
+
+#[test]
+fn reads_a_saved_jsonl_trace() {
+    let path = std::env::temp_dir().join("trace_inspect_smoke.jsonl");
+    // Two-line trace: one tx and its delivery.
+    std::fs::write(
+        &path,
+        concat!(
+            "{\"t\":0,\"ev\":\"pkt_tx\",\"node\":0,\"iface\":0,\"link\":0,\"id\":1,\"root\":1,\"bytes\":100,\"class\":\"data\"}\n",
+            "{\"t\":1000,\"ev\":\"pkt_rx\",\"node\":1,\"iface\":0,\"id\":1,\"root\":1,\"age_us\":1000,\"class\":\"data\"}\n",
+        ),
+    )
+    .expect("write temp trace");
+    let out = Command::new(env!("CARGO_BIN_EXE_trace_inspect"))
+        .arg(&path)
+        .output()
+        .expect("spawn trace_inspect");
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 events"), "unexpected output:\n{stdout}");
+    assert!(stdout.contains("1 data chains"), "unexpected output:\n{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trace_inspect"))
+        .args(["--bogus", "extra"])
+        .output()
+        .expect("spawn trace_inspect");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -182,6 +182,10 @@ struct Subscription {
     /// countIds the source maintains proactively (§6 installs seen on this
     /// channel): value changes are pushed upstream unsolicited.
     proactive_ids: Vec<CountId>,
+    /// When `newSubscription` ran — start of the join-latency clock.
+    subscribed_at: SimTime,
+    /// Set at the first data delivery; the join latency was observed then.
+    first_data_seen: bool,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -374,8 +378,11 @@ impl ExpressHost {
                         key,
                         confirmed: key.is_none(),
                         proactive_ids: Vec::new(),
+                        subscribed_at: at,
+                        first_data_seen: false,
                     },
                 );
+                ctx.trace("host.subscribe", |e| e.chan(channel));
                 if key.is_none() {
                     self.events.push(HostEvent::SubscriptionResult { at, channel, ok: true });
                 }
@@ -704,6 +711,27 @@ impl Agent for ExpressHost {
                         payload_len: header.payload_len,
                     });
                     ctx.count("host.data_rx", 1);
+                    // End-to-end delivery latency: age of the causal chain
+                    // this frame belongs to (source send → here).
+                    let age = ctx.packet_age();
+                    if let Some(a) = age {
+                        ctx.observe("delivery.latency_us", a.micros());
+                    }
+                    ctx.trace("host.data_rx", |e| {
+                        let e = e.chan(channel);
+                        match age {
+                            Some(a) => e.value(a.micros()),
+                            None => e,
+                        }
+                    });
+                    if let Some(sub) = self.subscriptions.get_mut(&channel) {
+                        if !sub.first_data_seen {
+                            sub.first_data_seen = true;
+                            let join = at - sub.subscribed_at;
+                            ctx.observe("join.latency_us", join.micros());
+                            ctx.trace("host.first_data", |e| e.chan(channel).value(join.micros()));
+                        }
+                    }
                 }
             Ok(Classified::Ecmp { from, messages, .. }) => {
                 for m in messages {

@@ -419,9 +419,10 @@ impl EcmpRouter {
     /// teardown on link failure).
     fn send_ecmp(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, to: Ipv4Addr, msg: EcmpMessage) {
         match msg {
-            EcmpMessage::Count(_) => {
+            EcmpMessage::Count(ref c) => {
                 self.counters.counts_tx += 1;
                 ctx.count("ecmp.count_tx", 1);
+                ctx.count_labeled("ecmp.count_msgs", &c.channel, 1);
             }
             EcmpMessage::CountQuery(_) => {
                 self.counters.queries_tx += 1;
@@ -717,6 +718,7 @@ impl EcmpRouter {
             if prev > 0 {
                 self.counters.unsubscribes += 1;
                 ctx.count("ecmp.unsubscribe", 1);
+                ctx.trace("ecmp.unsubscribe", |e| e.chan(channel));
             }
             // §3.2: on a UDP interface, a zero Count triggers a re-query so
             // remaining LAN members re-report (no suppression, like IGMPv3).
@@ -733,6 +735,7 @@ impl EcmpRouter {
             if prev == 0 {
                 self.counters.subscribes += 1;
                 ctx.count("ecmp.subscribe", 1);
+                ctx.trace("ecmp.subscribe", |e| e.chan(channel).value(c.count));
                 // §6: a proactive request "is propagated to all routers in
                 // the multicast tree" — including branches that join later.
                 let installs: Vec<(CountId, ProactiveParams)> = self
@@ -1326,6 +1329,13 @@ impl EcmpRouter {
         let key = st.cached_key;
         self.counters.rehomes += 1;
         ctx.count("ecmp.rehome", 1);
+        ctx.trace("ecmp.rehome", |e| {
+            let hop = |h: Option<(IfaceId, Ipv4Addr)>| match h {
+                Some((i, a)) => format!("{i}/{a}"),
+                None => "none".to_string(),
+            };
+            e.chan(chan).value(agg).detail(format!("{} -> {}", hop(old), hop(new_hop)))
+        });
         // §3.2: "it sends a current Count message to the new upstream router
         // and a zero Count message to the old upstream router".
         if let Some((ni, na)) = new_hop {
@@ -1386,6 +1396,7 @@ impl EcmpRouter {
         }
         self.counters.rejoin_retries += 1;
         ctx.count("ecmp.rejoin_retry", 1);
+        ctx.trace("ecmp.rejoin_retry", |e| e.chan(chan).value(attempt as u64));
         match ctx.rpf(chan.source).map(|h| (h.iface, ctx.ip_of(h.next))) {
             Some(hop) => {
                 // apply_rehome sends the current aggregate upstream — the

@@ -22,10 +22,13 @@
 //!   engine never interprets packet contents.
 
 use crate::id::{IfaceId, LinkId, NodeId};
+use crate::metrics::{Metrics, MetricsConfig};
 use crate::routing::{NextHop, Routing};
 use crate::stats::{Stats, TrafficClass};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeKind, Topology};
+use crate::trace::{DropReason, PacketId, ProtoEvent, TraceBuffer, TraceConfig, TraceKind, TraceLevel};
+use std::borrow::Cow;
 use express_wire::addr::Ipv4Addr;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -127,6 +130,14 @@ enum EventKind {
         iface: IfaceId,
         bytes: Arc<[u8]>,
         class: TrafficClass,
+        /// The frame's id (one per `Ctx::send`; LAN copies share it).
+        id: PacketId,
+        /// Root of the causal chain this frame belongs to (see
+        /// `trace::TraceKind::PacketTx`).
+        root: PacketId,
+        /// When the root frame entered the wire — the chain's birth time,
+        /// carried so delivery latency needs no lookup table.
+        root_at: SimTime,
     },
     Timer {
         node: NodeId,
@@ -184,6 +195,17 @@ pub struct Ctx<'a> {
     node: NodeId,
 }
 
+/// The arrival being dispatched right now: its id, the root of its causal
+/// chain, and when that root entered the wire. Frames sent during the
+/// dispatch inherit the root — this is how one data packet is followed
+/// source → receivers across forwarding hops without inspecting payloads.
+#[derive(Debug, Clone, Copy)]
+struct ArrivalCause {
+    id: PacketId,
+    root: PacketId,
+    root_at: SimTime,
+}
+
 struct World {
     topo: Topology,
     routing: Routing,
@@ -200,6 +222,15 @@ struct World {
     node_epoch: Vec<u64>,
     /// Temporary per-link loss-probability overrides (loss bursts).
     loss_override: HashMap<LinkId, f64>,
+    /// Structured event capture (`None` = tracing disabled, the default).
+    trace: Option<TraceBuffer>,
+    /// Time-series metrics (`None` = disabled, the default).
+    metrics: Option<Metrics>,
+    /// Next fresh [`PacketId`]. Always assigned (cheap) so enabling tracing
+    /// mid-run or between identical runs never shifts ids.
+    next_packet_id: u64,
+    /// Causal context of the arrival currently being dispatched, if any.
+    cause: Option<ArrivalCause>,
 }
 
 impl World {
@@ -207,6 +238,66 @@ impl World {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Event { at, seq, kind });
+    }
+
+    /// Record a trace event if tracing is enabled (filters applied inside).
+    fn trace_push(&mut self, kind: TraceKind) {
+        if let Some(t) = &mut self.trace {
+            t.push(self.now, kind);
+        }
+    }
+
+    /// Bump named counter `key` by `delta` on behalf of `node`: updates
+    /// [`Stats`], feeds the metrics time series, and mirrors the bump as a
+    /// protocol trace event so existing instrumentation appears in
+    /// timelines without per-call-site changes.
+    fn count(&mut self, node: NodeId, key: &'static str, delta: u64) {
+        self.stats.count(key, delta);
+        if let Some(m) = &mut self.metrics {
+            m.on_count(self.now, key, delta);
+        }
+        if let Some(t) = &mut self.trace {
+            t.push(
+                self.now,
+                TraceKind::Proto {
+                    node,
+                    event: ProtoEvent {
+                        name: Cow::Borrowed(key),
+                        channel: None,
+                        value: Some(delta),
+                        detail: None,
+                    },
+                },
+            );
+        }
+    }
+
+    /// Like [`count`](Self::count) but for a per-channel labeled counter
+    /// `base{chan=label}`. The label formats into [`Stats`]' interned key;
+    /// the trace event keeps `base` as the name and the label as the
+    /// channel (so channel filters apply).
+    fn count_labeled(&mut self, node: NodeId, base: &'static str, label: &dyn std::fmt::Display, delta: u64) {
+        self.stats.count_labeled(base, label, delta);
+        if self.metrics.is_some() || self.trace.is_some() {
+            let chan = label.to_string();
+            if let Some(m) = &mut self.metrics {
+                m.on_count(self.now, &format!("{base}{{chan={chan}}}"), delta);
+            }
+            if let Some(t) = &mut self.trace {
+                t.push(
+                    self.now,
+                    TraceKind::Proto {
+                        node,
+                        event: ProtoEvent {
+                            name: Cow::Borrowed(base),
+                            channel: Some(chan),
+                            value: Some(delta),
+                            detail: None,
+                        },
+                    },
+                );
+            }
+        }
     }
 }
 
@@ -246,9 +337,64 @@ impl<'a> Ctx<'a> {
         &mut self.world.rng
     }
 
-    /// Bump a named global counter.
+    /// Bump a named global counter (`<proto>.<event>` convention; see
+    /// `docs/OBSERVABILITY.md`). When tracing / metrics are enabled the
+    /// bump is also mirrored into the event stream and the time series.
     pub fn count(&mut self, key: &'static str, delta: u64) {
-        self.world.stats.count(key, delta);
+        let node = self.node;
+        self.world.count(node, key, delta);
+    }
+
+    /// Bump the per-channel labeled counter `base{chan=label}` — e.g.
+    /// `ctx.count_labeled("ecmp.count_msgs", &chan, 1)` yields
+    /// `ecmp.count_msgs{chan=(10.0.0.5, 232.0.0.1)}`. Interned: one
+    /// allocation per distinct key for the lifetime of the run.
+    pub fn count_labeled(&mut self, base: &'static str, label: &dyn std::fmt::Display, delta: u64) {
+        let node = self.node;
+        self.world.count_labeled(node, base, label, delta);
+    }
+
+    /// Emit a structured protocol trace event. Zero-cost when tracing is
+    /// disabled: `build` runs only if the trace is on and capturing
+    /// protocol events. Typical use:
+    /// `ctx.trace("ecmp.rehome", |e| e.chan(chan).detail("via if2"))`.
+    pub fn trace(&mut self, name: &'static str, build: impl FnOnce(ProtoEvent) -> ProtoEvent) {
+        let node = self.node;
+        if let Some(t) = &mut self.world.trace {
+            if t.config().level.includes(TraceLevel::PROTOCOL) {
+                let event = build(ProtoEvent {
+                    name: Cow::Borrowed(name),
+                    ..ProtoEvent::default()
+                });
+                t.push(self.world.now, TraceKind::Proto { node, event });
+            }
+        }
+    }
+
+    /// Record `value` into metrics histogram `name` (no-op when metrics
+    /// are disabled). Latencies are in microseconds by convention.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(m) = &mut self.world.metrics {
+            m.observe(name, value);
+        }
+    }
+
+    /// Record a point-in-time gauge sample (no-op when metrics are
+    /// disabled) — e.g. a router's current subscriber count for a channel.
+    pub fn gauge(&mut self, name: &str, value: u64) {
+        let now = self.world.now;
+        if let Some(m) = &mut self.world.metrics {
+            m.gauge(now, name, value);
+        }
+    }
+
+    /// Inside an [`Agent::on_packet`] dispatch: the age of the causal
+    /// packet chain the arriving frame belongs to — now minus the time the
+    /// *original* frame (not the last hop's copy) entered the wire. This is
+    /// the end-to-end delivery latency when called at the delivering host.
+    /// `None` outside packet dispatch.
+    pub fn packet_age(&self) -> Option<SimDuration> {
+        self.world.cause.map(|c| self.world.now - c.root_at)
     }
 
     /// Neighbors reachable on `iface` right now (empty if the link is down).
@@ -307,6 +453,34 @@ impl<'a> Ctx<'a> {
         };
         let arrive = self.world.now + spec.latency + ser;
         self.world.stats.record_tx(link, bytes.len(), class);
+        if let Some(m) = &mut self.world.metrics {
+            // Aggregate per-class transmission series, so experiments get
+            // data/control timelines without sampling Stats in a loop.
+            let key = match class {
+                TrafficClass::Data => "link.data_pkts",
+                TrafficClass::Control => "link.control_pkts",
+            };
+            m.on_count(self.world.now, key, 1);
+        }
+        // Causal identity: a fresh id per send; a send performed while an
+        // arrival is being dispatched inherits that chain's root (it is a
+        // forwarded copy), otherwise it starts a new chain.
+        let id = PacketId(self.world.next_packet_id);
+        self.world.next_packet_id += 1;
+        let (cause, root, root_at) = match self.world.cause {
+            Some(c) => (Some(c.id), c.root, c.root_at),
+            None => (None, id, self.world.now),
+        };
+        self.world.trace_push(TraceKind::PacketTx {
+            node,
+            iface,
+            link,
+            id,
+            cause,
+            root,
+            bytes: bytes.len() as u32,
+            class,
+        });
         let payload: Arc<[u8]> = Arc::from(bytes);
         let endpoints: Vec<(NodeId, IfaceId)> = self
             .world
@@ -329,6 +503,15 @@ impl<'a> Ctx<'a> {
                 && self.world.rng.random::<f64>() < loss;
             if lost {
                 self.world.stats.record_drop(link);
+                if let Some(m) = &mut self.world.metrics {
+                    m.on_count(self.world.now, "link.drops", 1);
+                }
+                self.world.trace_push(TraceKind::PacketDrop {
+                    link,
+                    id,
+                    reason: DropReason::Loss,
+                    class,
+                });
                 continue;
             }
             self.world.push(
@@ -338,6 +521,9 @@ impl<'a> Ctx<'a> {
                     iface: i,
                     bytes: payload.clone(),
                     class,
+                    id,
+                    root,
+                    root_at,
                 },
             );
         }
@@ -394,6 +580,10 @@ impl Sim {
                 node_down: vec![false; n],
                 node_epoch: vec![0; n],
                 loss_override: HashMap::new(),
+                trace: None,
+                metrics: None,
+                next_packet_id: 0,
+                cause: None,
             },
             agents: (0..n).map(|_| Some(Box::new(NullAgent) as Box<dyn Agent>)).collect(),
             started: false,
@@ -441,6 +631,40 @@ impl Sim {
     /// Mutable measurement state (for harness-level counters).
     pub fn stats_mut(&mut self) -> &mut Stats {
         &mut self.world.stats
+    }
+
+    /// Turn on structured event tracing with the given capture
+    /// configuration (replaces any previous trace). Tracing is off by
+    /// default and, when off, adds no counter or per-link overhead.
+    pub fn enable_trace(&mut self, cfg: TraceConfig) {
+        self.world.trace = Some(TraceBuffer::new(cfg));
+    }
+
+    /// The captured trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.world.trace.as_ref()
+    }
+
+    /// Detach the captured trace (tracing stops), e.g. to export it after
+    /// a run.
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.world.trace.take()
+    }
+
+    /// Turn on time-series metrics with the given configuration (replaces
+    /// any previous metrics). Off by default.
+    pub fn enable_metrics(&mut self, cfg: MetricsConfig) {
+        self.world.metrics = Some(Metrics::new(cfg));
+    }
+
+    /// The collected metrics, if enabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.world.metrics.as_ref()
+    }
+
+    /// Mutable metrics (for harness-level gauges and histograms).
+    pub fn metrics_mut(&mut self) -> Option<&mut Metrics> {
+        self.world.metrics.as_mut()
     }
 
     /// Unicast routing (for harness-level queries like path lengths).
@@ -542,18 +766,47 @@ impl Sim {
                 iface,
                 bytes,
                 class,
+                id,
+                root,
+                root_at,
             } => {
                 // Frames in flight when a link died are dropped on arrival,
                 // as are frames addressed to a crashed node.
+                let link = self.world.topo.link_of(node, iface).ok();
                 if self.world.node_down[node.index()] {
+                    if let Some(l) = link {
+                        self.world.trace_push(TraceKind::PacketDrop {
+                            link: l,
+                            id,
+                            reason: DropReason::NodeDown,
+                            class,
+                        });
+                    }
                     return true;
                 }
-                if let Ok(link) = self.world.topo.link_of(node, iface) {
-                    if !self.world.topo.link_up(link) {
+                if let Some(l) = link {
+                    if !self.world.topo.link_up(l) {
+                        self.world.trace_push(TraceKind::PacketDrop {
+                            link: l,
+                            id,
+                            reason: DropReason::LinkDown,
+                            class,
+                        });
                         return true;
                     }
                 }
+                let age = self.world.now - root_at;
+                self.world.trace_push(TraceKind::PacketRx {
+                    node,
+                    iface,
+                    id,
+                    root,
+                    age,
+                    class,
+                });
+                self.world.cause = Some(ArrivalCause { id, root, root_at });
                 self.with_agent(node, |agent, ctx| agent.on_packet(ctx, iface, &bytes, class));
+                self.world.cause = None;
             }
             EventKind::Timer { node, token, epoch } => {
                 // Timers from before a crash die with the agent that set
@@ -561,6 +814,7 @@ impl Sim {
                 if self.world.node_down[node.index()] || self.world.node_epoch[node.index()] != epoch {
                     return true;
                 }
+                self.world.trace_push(TraceKind::TimerFire { node, token });
                 self.with_agent(node, |agent, ctx| agent.on_timer(ctx, token));
             }
             EventKind::LinkChange { link, up } => {
@@ -601,6 +855,10 @@ impl Sim {
     /// Deliver `change` to every live agent, then run the
     /// [`Agent::on_route_change`] sweep (routing was already invalidated).
     fn notify_topology_change(&mut self, change: TopologyChange) {
+        self.world.trace_push(TraceKind::Topology(change));
+        if let Some(m) = &mut self.world.metrics {
+            m.mark_fault(self.world.now, change);
+        }
         for idx in 0..self.agents.len() {
             if !self.world.node_down[idx] {
                 self.with_agent(NodeId(idx as u32), |agent, ctx| {

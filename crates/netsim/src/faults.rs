@@ -363,7 +363,7 @@ mod tests {
             .apply(&mut sim);
         sim.run_until(SimTime(30_000));
         let drops = sim.stats().link(l).drops;
-        assert!(drops >= 9 && drops <= 11, "burst drops: {drops}");
+        assert!((9..=11).contains(&drops), "burst drops: {drops}");
         let p = sim.agent_as::<Probe>(b).unwrap();
         // Everything outside the window arrived.
         assert!(p.packets >= 18, "{}", p.packets);

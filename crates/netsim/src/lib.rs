@@ -36,15 +36,19 @@
 pub mod engine;
 pub mod faults;
 pub mod id;
+pub mod metrics;
 pub mod routing;
 pub mod stats;
 pub mod time;
 pub mod topogen;
 pub mod topology;
+pub mod trace;
 pub mod transport;
 
 pub use engine::{Agent, Ctx, Sim, TimerToken, TopologyChange};
 pub use faults::{FaultEvent, FaultPlan};
 pub use id::{IfaceId, LinkId, NodeId};
+pub use metrics::{CounterSnapshot, Histogram, Metrics, MetricsConfig};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkSpec, NodeKind, Topology};
+pub use trace::{PacketId, PacketPath, ProtoEvent, TraceBuffer, TraceConfig, TraceEvent, TraceKind, TraceLevel};

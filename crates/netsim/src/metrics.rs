@@ -1,0 +1,504 @@
+//! Time-series metrics: windowed sampling of named counters, gauges,
+//! fixed-bucket histograms, and post-fault convergence probes.
+//!
+//! The flat end-of-run counter map ([`crate::stats::Stats`]) answers *how
+//! much*; this module answers *when*. When enabled
+//! ([`Sim::enable_metrics`](crate::engine::Sim::enable_metrics)), every
+//! named-counter bump is also accumulated into a per-counter time series of
+//! fixed-width buckets, stamped with the exact simulated time of the bump —
+//! no driver-side stepping or sampling loop required (this replaces
+//! `fig_recovery`'s original hand-rolled bucketing).
+//!
+//! On top of the raw series sit three derived facilities:
+//!
+//! * **Delivery watch**: counters named in [`MetricsConfig::watch`]
+//!   (`host.data_rx` and `group.data_rx` by default) are treated as data
+//!   deliveries; their exact timestamps are kept so probes resolve far
+//!   below the bucket width.
+//! * **Fault marks**: every topology transition is recorded, giving the
+//!   fault schedule as it executed.
+//! * **Convergence probes**: [`Metrics::reconvergence_after`] measures the
+//!   time from a fault to the first restored delivery — the quantity the
+//!   `docs/FAILURE_MODEL.md` recovery bounds are stated in.
+//!
+//! Histograms ([`Metrics::observe`] via
+//! [`Ctx::observe`](crate::engine::Ctx::observe)) capture latency
+//! distributions — join latency, end-to-end delivery latency — in fixed
+//! buckets. [`CounterSnapshot`] provides the snapshot/delta API for
+//! before/after comparisons. Units are documented in
+//! `docs/OBSERVABILITY.md`: times in microseconds, sizes in octets.
+
+use crate::engine::TopologyChange;
+use crate::stats::Stats;
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default histogram bucket upper bounds, in microseconds: 1 ms to ~33 s in
+/// powers of two. Suits join / delivery / reconvergence latencies.
+pub const DEFAULT_LATENCY_BOUNDS_US: [u64; 16] = [
+    1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000, 256_000, 512_000, 1_024_000, 2_048_000, 4_096_000,
+    8_192_000, 16_384_000, 32_768_000,
+];
+
+/// Configuration for [`Metrics`].
+#[derive(Debug, Clone)]
+pub struct MetricsConfig {
+    /// Time-series bucket width.
+    pub bucket: SimDuration,
+    /// Counter names treated as data deliveries (exact timestamps kept;
+    /// drives the convergence probes).
+    pub watch: Vec<String>,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            bucket: SimDuration::from_millis(100),
+            watch: vec!["host.data_rx".to_string(), "group.data_rx".to_string()],
+        }
+    }
+}
+
+impl MetricsConfig {
+    /// Set the time-series bucket width.
+    pub fn bucket(mut self, bucket: SimDuration) -> Self {
+        self.bucket = bucket;
+        self
+    }
+
+    /// Replace the delivery watch set.
+    pub fn watch(mut self, watch: impl IntoIterator<Item = String>) -> Self {
+        self.watch = watch.into_iter().collect();
+        self
+    }
+}
+
+/// A fixed-bucket histogram: counts per upper bound plus an overflow
+/// bucket, with min / max / sum / count.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` counts; the last is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given ascending upper bounds.
+    pub fn new(bounds: impl Into<Vec<u64>>) -> Self {
+        let bounds = bounds.into();
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The buckets: `(upper_bound, count)` pairs, `None` bound = overflow.
+    pub fn buckets(&self) -> impl Iterator<Item = (Option<u64>, u64)> + '_ {
+        self.bounds
+            .iter()
+            .map(Some)
+            .chain(std::iter::once(None))
+            .zip(self.counts.iter())
+            .map(|(b, &c)| (b.copied(), c))
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (`q` in `[0, 1]`); `None` if empty or the quantile lands in the
+    /// overflow bucket (then [`max`](Self::max) bounds it).
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
+    }
+}
+
+/// All metric state for one run. Created by
+/// [`Sim::enable_metrics`](crate::engine::Sim::enable_metrics); fed by the
+/// engine on every counter bump and topology change.
+#[derive(Debug)]
+pub struct Metrics {
+    bucket_us: u64,
+    watch: Vec<String>,
+    /// Per-counter bucketed deltas (bucket i covers `[i·w, (i+1)·w)`).
+    series: BTreeMap<String, Vec<u64>>,
+    /// Named point-in-time samples.
+    gauges: BTreeMap<String, Vec<(SimTime, u64)>>,
+    /// Named fixed-bucket histograms.
+    hists: BTreeMap<String, Histogram>,
+    /// Exact timestamps of watched (delivery) counter bumps, in time order.
+    deliveries: Vec<SimTime>,
+    /// Topology transitions as they executed.
+    faults: Vec<(SimTime, TopologyChange)>,
+}
+
+impl Metrics {
+    /// Empty metrics with the given configuration.
+    pub fn new(cfg: MetricsConfig) -> Self {
+        Metrics {
+            bucket_us: cfg.bucket.micros().max(1),
+            watch: cfg.watch,
+            series: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            deliveries: Vec::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// The time-series bucket width.
+    pub fn bucket_width(&self) -> SimDuration {
+        SimDuration(self.bucket_us)
+    }
+
+    /// Engine hook: a named counter was bumped by `delta` at `now`.
+    pub(crate) fn on_count(&mut self, now: SimTime, key: &str, delta: u64) {
+        let idx = (now.micros() / self.bucket_us) as usize;
+        let series = match self.series.get_mut(key) {
+            Some(s) => s,
+            None => self.series.entry(key.to_string()).or_default(),
+        };
+        if series.len() <= idx {
+            series.resize(idx + 1, 0);
+        }
+        series[idx] += delta;
+        if self.watch.iter().any(|w| w == key) {
+            for _ in 0..delta {
+                self.deliveries.push(now);
+            }
+        }
+    }
+
+    /// Engine hook: a topology transition executed at `now`.
+    pub(crate) fn mark_fault(&mut self, now: SimTime, change: TopologyChange) {
+        self.faults.push((now, change));
+    }
+
+    /// Record a point-in-time sample of gauge `name`.
+    pub fn gauge(&mut self, now: SimTime, name: &str, value: u64) {
+        self.gauges.entry(name.to_string()).or_default().push((now, value));
+    }
+
+    /// Record an observation into histogram `name`, creating it with
+    /// [`DEFAULT_LATENCY_BOUNDS_US`] if absent. Create it first with
+    /// [`histogram_with_bounds`](Self::histogram_with_bounds) for custom
+    /// buckets.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self.hists.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::new(DEFAULT_LATENCY_BOUNDS_US);
+                h.observe(value);
+                self.hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Create (or reset) histogram `name` with custom bucket bounds.
+    pub fn histogram_with_bounds(&mut self, name: &str, bounds: impl Into<Vec<u64>>) {
+        self.hists.insert(name.to_string(), Histogram::new(bounds.into()));
+    }
+
+    // ---- reads -----------------------------------------------------------
+
+    /// The bucketed series of counter `name` (empty if never bumped).
+    /// Bucket `i` holds the total delta in `[i·w, (i+1)·w)`.
+    pub fn series(&self, name: &str) -> &[u64] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Sample the series at `t`, i.e. the delta accumulated in `t`'s bucket.
+    pub fn series_at(&self, name: &str, t: SimTime) -> u64 {
+        let idx = (t.micros() / self.bucket_us) as usize;
+        self.series(name).get(idx).copied().unwrap_or(0)
+    }
+
+    /// Names of all recorded series, sorted.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// The samples of gauge `name`.
+    pub fn gauge_samples(&self, name: &str) -> &[(SimTime, u64)] {
+        self.gauges.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Names of all histograms, sorted.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
+        self.hists.keys().map(String::as_str)
+    }
+
+    /// Exact timestamps of watched (delivery) counter bumps.
+    pub fn deliveries(&self) -> &[SimTime] {
+        &self.deliveries
+    }
+
+    /// The topology transitions as they executed.
+    pub fn fault_marks(&self) -> &[(SimTime, TopologyChange)] {
+        &self.faults
+    }
+
+    // ---- convergence probes ----------------------------------------------
+
+    /// Time from `mark` (typically a fault's timestamp) to the first
+    /// watched delivery at or after it — the "time from fault to first
+    /// restored delivery" reconvergence measure. `None` if delivery never
+    /// resumed.
+    pub fn reconvergence_after(&self, mark: SimTime) -> Option<SimDuration> {
+        let idx = self.deliveries.partition_point(|&t| t < mark);
+        self.deliveries.get(idx).map(|&t| t - mark)
+    }
+
+    /// [`reconvergence_after`](Self::reconvergence_after) applied to every
+    /// recorded fault mark: `(fault_time, change, recovery)` triples.
+    pub fn reconvergence_report(&self) -> Vec<(SimTime, TopologyChange, Option<SimDuration>)> {
+        self.faults
+            .iter()
+            .map(|&(t, c)| (t, c, self.reconvergence_after(t)))
+            .collect()
+    }
+
+    /// Delivery gaps of at least `min_gap` between consecutive watched
+    /// deliveries inside `[start, end]` — the outage windows a fault tore
+    /// in the data stream.
+    pub fn delivery_gaps(&self, start: SimTime, end: SimTime, min_gap: SimDuration) -> Vec<(SimTime, SimTime)> {
+        let mut gaps = Vec::new();
+        let mut prev = start;
+        for &t in &self.deliveries {
+            if t < start {
+                continue;
+            }
+            if t > end {
+                break;
+            }
+            if t - prev >= min_gap {
+                gaps.push((prev, t));
+            }
+            prev = t;
+        }
+        if end > prev && end - prev >= min_gap {
+            gaps.push((prev, end));
+        }
+        gaps
+    }
+
+    // ---- export ----------------------------------------------------------
+
+    /// Serialize the bucketed series named in `names` (all when empty) as a
+    /// JSON object: `{"bucket_ms":N,"series":{"name":[..]}}`. Series are
+    /// padded to a common length.
+    pub fn series_json(&self, names: &[&str]) -> String {
+        let selected: Vec<(&str, &[u64])> = if names.is_empty() {
+            self.series.iter().map(|(k, v)| (k.as_str(), v.as_slice())).collect()
+        } else {
+            names.iter().map(|&n| (n, self.series(n))).collect()
+        };
+        let len = selected.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        let _ = write!(out, "{{\"bucket_ms\":{},\"series\":{{", self.bucket_us / 1_000);
+        for (i, (name, series)) in selected.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":[");
+            for j in 0..len {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", series.get(j).copied().unwrap_or(0));
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A point-in-time copy of the named counters, for before/after deltas
+/// around an experiment phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    map: BTreeMap<String, u64>,
+}
+
+impl CounterSnapshot {
+    /// Capture the current named counters.
+    pub fn capture(stats: &Stats) -> Self {
+        CounterSnapshot {
+            map: stats.named_counters().map(|(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+
+    /// A counter's value at capture time (0 if absent).
+    pub fn get(&self, key: &str) -> u64 {
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    /// Per-counter increase since `earlier` (counters are monotone;
+    /// saturates at 0 defensively). Counters with zero delta are omitted.
+    pub fn delta(&self, earlier: &CounterSnapshot) -> BTreeMap<String, u64> {
+        self.map
+            .iter()
+            .filter_map(|(k, &v)| {
+                let d = v.saturating_sub(earlier.get(k));
+                (d > 0).then(|| (k.clone(), d))
+            })
+            .collect()
+    }
+
+    /// All captured counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::LinkId;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime(n * 1_000)
+    }
+
+    #[test]
+    fn series_buckets_by_time() {
+        let mut m = Metrics::new(MetricsConfig::default().bucket(SimDuration::from_millis(100)));
+        m.on_count(ms(10), "x.tx", 1);
+        m.on_count(ms(90), "x.tx", 2);
+        m.on_count(ms(250), "x.tx", 5);
+        assert_eq!(m.series("x.tx"), &[3, 0, 5]);
+        assert_eq!(m.series_at("x.tx", ms(50)), 3);
+        assert_eq!(m.series_at("x.tx", ms(299)), 5);
+        assert_eq!(m.series_at("x.tx", ms(999)), 0);
+        assert_eq!(m.series("missing"), &[] as &[u64]);
+    }
+
+    #[test]
+    fn watched_deliveries_and_reconvergence() {
+        let mut m = Metrics::new(MetricsConfig::default());
+        m.on_count(ms(100), "host.data_rx", 1);
+        m.on_count(ms(110), "host.data_rx", 1);
+        m.mark_fault(ms(150), TopologyChange::LinkDown(LinkId(3)));
+        m.on_count(ms(400), "host.data_rx", 1);
+        m.on_count(ms(410), "other.counter", 1); // not watched
+        assert_eq!(m.deliveries().len(), 3);
+        assert_eq!(m.reconvergence_after(ms(150)), Some(SimDuration::from_millis(250)));
+        assert_eq!(m.reconvergence_after(ms(500)), None);
+        let report = m.reconvergence_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report[0].2, Some(SimDuration::from_millis(250)));
+        let gaps = m.delivery_gaps(ms(100), ms(500), SimDuration::from_millis(100));
+        // One torn window mid-stream, and the tail after the last delivery.
+        assert_eq!(gaps, vec![(ms(110), ms(400)), (ms(400), ms(500))]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        for v in [5, 7, 50, 200, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(5000));
+        let buckets: Vec<(Option<u64>, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(Some(10), 2), (Some(100), 1), (Some(1000), 1), (None, 1)]);
+        assert_eq!(h.quantile_bound(0.5), Some(100));
+        assert_eq!(h.quantile_bound(0.0), Some(10));
+        assert_eq!(h.quantile_bound(1.0), None); // lands in overflow
+        assert!(Histogram::new(vec![1]).quantile_bound(0.5).is_none());
+    }
+
+    #[test]
+    fn default_histogram_via_observe() {
+        let mut m = Metrics::new(MetricsConfig::default());
+        m.observe("join.latency_us", 3_000);
+        m.observe("join.latency_us", 3_500);
+        let h = m.histogram("join.latency_us").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_bound(0.99), Some(4_000));
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let mut s = Stats::new(0);
+        s.count("a.x", 2);
+        let before = CounterSnapshot::capture(&s);
+        s.count("a.x", 3);
+        s.count("b.y", 1);
+        let after = CounterSnapshot::capture(&s);
+        assert_eq!(after.get("a.x"), 5);
+        let d = after.delta(&before);
+        assert_eq!(d.get("a.x"), Some(&3));
+        assert_eq!(d.get("b.y"), Some(&1));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn series_json_pads_and_selects() {
+        let mut m = Metrics::new(MetricsConfig::default());
+        m.on_count(ms(50), "a", 1);
+        m.on_count(ms(250), "b", 2);
+        let json = m.series_json(&["a", "b"]);
+        assert_eq!(json, "{\"bucket_ms\":100,\"series\":{\"a\":[1,0,0],\"b\":[0,0,2]}}");
+    }
+}

@@ -5,9 +5,18 @@
 //! bytes for the unicast-vs-multicast comparison (§1). Links count
 //! automatically on every send; protocols additionally bump named counters
 //! through [`crate::engine::Ctx::count`].
+//!
+//! Counter keys follow the `<proto>.<event>` convention documented in
+//! `docs/OBSERVABILITY.md`. Keys are interned [`Cow`]s: the common case is
+//! a `&'static str` (zero allocation), but labeled counters such as
+//! `ecmp.count_msgs{chan=(10.0.0.5, 232.0.0.1)}` are possible through
+//! [`Stats::count_labeled`], which allocates once per distinct key and
+//! afterwards looks the key up by borrowed `&str`.
 
 use crate::id::LinkId;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Whether a packet is application data or protocol control traffic.
 /// Separated so experiments can report control overhead independently of
@@ -52,7 +61,10 @@ impl LinkStats {
 #[derive(Debug, Default)]
 pub struct Stats {
     per_link: Vec<LinkStats>,
-    named: BTreeMap<&'static str, u64>,
+    named: BTreeMap<Cow<'static, str>, u64>,
+    /// Reusable key-formatting buffer for [`count_labeled`](Self::count_labeled)
+    /// (avoids an allocation per bump once the key is interned).
+    scratch: String,
 }
 
 impl Stats {
@@ -61,6 +73,7 @@ impl Stats {
         Stats {
             per_link: vec![LinkStats::default(); links],
             named: BTreeMap::new(),
+            scratch: String::new(),
         }
     }
 
@@ -106,9 +119,32 @@ impl Stats {
         self.per_link.iter().filter(|s| s.data_packets > 0).count()
     }
 
-    /// Bump a named counter.
-    pub fn count(&mut self, key: &'static str, delta: u64) {
-        *self.named.entry(key).or_insert(0) += delta;
+    /// Bump a named counter. Accepts both the classic `&'static str` keys
+    /// and owned `String` keys (for labeled counters built elsewhere).
+    pub fn count(&mut self, key: impl Into<Cow<'static, str>>, delta: u64) {
+        let key = key.into();
+        match self.named.get_mut(key.as_ref()) {
+            Some(v) => *v += delta,
+            None => {
+                self.named.insert(key, delta);
+            }
+        }
+    }
+
+    /// Bump a labeled counter `base{chan=label}` — e.g.
+    /// `ecmp.count_msgs{chan=(10.0.0.5, 232.0.0.1)}`. The composed key is
+    /// interned: the first bump of a distinct key allocates it, every later
+    /// bump formats into a reused scratch buffer and looks it up by `&str`.
+    pub fn count_labeled(&mut self, base: &str, label: &dyn fmt::Display, delta: u64) {
+        use std::fmt::Write;
+        self.scratch.clear();
+        let _ = write!(self.scratch, "{base}{{chan={label}}}");
+        match self.named.get_mut(self.scratch.as_str()) {
+            Some(v) => *v += delta,
+            None => {
+                self.named.insert(Cow::Owned(self.scratch.clone()), delta);
+            }
+        }
     }
 
     /// Read a named counter (0 if never bumped).
@@ -117,8 +153,8 @@ impl Stats {
     }
 
     /// All named counters, sorted by name.
-    pub fn named_counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.named.iter().map(|(&k, &v)| (k, v))
+    pub fn named_counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.named.iter().map(|(k, &v)| (k.as_ref(), v))
     }
 }
 
@@ -149,5 +185,21 @@ mod tests {
         assert_eq!(s.named("ecmp.count_msgs"), 5);
         assert_eq!(s.named("missing"), 0);
         assert_eq!(s.named_counters().collect::<Vec<_>>(), vec![("ecmp.count_msgs", 5)]);
+    }
+
+    #[test]
+    fn owned_and_labeled_keys() {
+        let mut s = Stats::new(0);
+        s.count(String::from("x.y"), 1);
+        s.count("x.y", 1);
+        s.count_labeled("ecmp.count_msgs", &"10.0.0.1", 2);
+        s.count_labeled("ecmp.count_msgs", &"10.0.0.1", 3);
+        s.count_labeled("ecmp.count_msgs", &"10.0.0.2", 1);
+        assert_eq!(s.named("x.y"), 2);
+        assert_eq!(s.named("ecmp.count_msgs{chan=10.0.0.1}"), 5);
+        assert_eq!(s.named("ecmp.count_msgs{chan=10.0.0.2}"), 1);
+        // Base key untouched by labeled bumps.
+        assert_eq!(s.named("ecmp.count_msgs"), 0);
+        assert_eq!(s.named_counters().count(), 3);
     }
 }

@@ -1,0 +1,885 @@
+//! Structured event tracing: a zero-cost-when-disabled stream of engine and
+//! protocol events captured into an in-memory ring.
+//!
+//! The paper's evaluation is observational — §5.3 prices control bandwidth,
+//! Figure 8 counts messages, §3.3's count mechanism doubles as a
+//! network-management tool — but flat end-of-run counters cannot answer
+//! *when* or *along which path* something happened. The trace layer records:
+//!
+//! * **Packet events**: every transmission, delivery and drop, with a
+//!   per-frame [`PacketId`] and a *causal* id chain — a frame sent while an
+//!   agent is processing an arrival records that arrival's id as its
+//!   `cause` and inherits its `root`, so one data packet can be followed
+//!   source → receivers across links ([`TraceBuffer::packet_path`]).
+//! * **Timer fires** and **topology changes** (the fault schedule as it
+//!   actually executed).
+//! * **Protocol events** emitted by agents via
+//!   [`Ctx::trace`](crate::engine::Ctx::trace), carrying a
+//!   `<proto>.<event>` name and optional channel label / value / detail.
+//!   Every named-counter bump ([`Ctx::count`](crate::engine::Ctx::count))
+//!   is also mirrored as a protocol event, so existing instrumentation
+//!   shows up in timelines for free.
+//!
+//! Tracing is **off by default**: a disabled trace adds one branch per
+//! event site and never perturbs [`crate::stats::Stats`] (pinned by the
+//! `tracing_does_not_perturb_stats` test in `express`). Enable with
+//! [`Sim::enable_trace`](crate::engine::Sim::enable_trace), filter by event
+//! kind / node / channel with [`TraceConfig`], and export with
+//! [`TraceBuffer::to_jsonl`]. The schema is documented in
+//! `docs/OBSERVABILITY.md`.
+
+use crate::engine::TopologyChange;
+use crate::id::{IfaceId, LinkId, NodeId};
+use crate::stats::TrafficClass;
+use crate::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Write as _;
+
+/// Identifies one transmitted frame (one `Ctx::send` call). Copies of the
+/// same frame delivered to several LAN endpoints share the id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+impl std::fmt::Display for PacketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Why a frame never reached a receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The link's datagram loss process discarded it.
+    Loss,
+    /// The link went down while the frame was in flight.
+    LinkDown,
+    /// The destination node was down (crashed) at delivery time.
+    NodeDown,
+}
+
+impl DropReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Loss => "loss",
+            DropReason::LinkDown => "link_down",
+            DropReason::NodeDown => "node_down",
+        }
+    }
+}
+
+/// A protocol-level event emitted by an agent through
+/// [`Ctx::trace`](crate::engine::Ctx::trace): a `<proto>.<event>` name plus
+/// optional channel label, value and free-form detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoEvent {
+    /// Event name, `<proto>.<event>` (e.g. `ecmp.rehome`).
+    pub name: std::borrow::Cow<'static, str>,
+    /// Channel / group label (e.g. `(10.0.0.5, 232.0.0.1)`), if the event
+    /// concerns one channel. Drives the [`TraceConfig::channels`] filter.
+    pub channel: Option<String>,
+    /// An associated quantity (a count, a latency in µs, a delta).
+    pub value: Option<u64>,
+    /// Free-form human-readable detail.
+    pub detail: Option<String>,
+}
+
+impl Default for ProtoEvent {
+    fn default() -> Self {
+        ProtoEvent {
+            name: std::borrow::Cow::Borrowed(""),
+            channel: None,
+            value: None,
+            detail: None,
+        }
+    }
+}
+
+impl ProtoEvent {
+    /// Attach a channel label (anything `Display`, typically a `Channel`).
+    pub fn chan(mut self, c: impl std::fmt::Display) -> Self {
+        self.channel = Some(c.to_string());
+        self
+    }
+
+    /// Attach a value.
+    pub fn value(mut self, v: u64) -> Self {
+        self.value = Some(v);
+        self
+    }
+
+    /// Attach free-form detail.
+    pub fn detail(mut self, d: impl Into<String>) -> Self {
+        self.detail = Some(d.into());
+        self
+    }
+}
+
+/// What happened, in one trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A frame entered the wire.
+    PacketTx {
+        /// Sending node.
+        node: NodeId,
+        /// Out which interface.
+        iface: IfaceId,
+        /// Onto which link.
+        link: LinkId,
+        /// This frame's id.
+        id: PacketId,
+        /// The arrival being processed when this send happened, if any —
+        /// the causal parent (a forwarded packet's upstream copy).
+        cause: Option<PacketId>,
+        /// The first frame of the causal chain (equals `id` for a send
+        /// performed outside any arrival dispatch, e.g. from a timer).
+        root: PacketId,
+        /// Frame length in octets.
+        bytes: u32,
+        /// Data or control.
+        class: TrafficClass,
+    },
+    /// A frame reached a node (about to be dispatched to its agent).
+    PacketRx {
+        /// Receiving node.
+        node: NodeId,
+        /// On which interface.
+        iface: IfaceId,
+        /// This frame's id (matches the `PacketTx`).
+        id: PacketId,
+        /// The causal root of the chain this frame belongs to.
+        root: PacketId,
+        /// Simulated age of the causal chain: now − root's send time.
+        age: SimDuration,
+        /// Data or control.
+        class: TrafficClass,
+    },
+    /// A frame copy was discarded before reaching its receiver.
+    PacketDrop {
+        /// The link it was crossing.
+        link: LinkId,
+        /// The frame's id.
+        id: PacketId,
+        /// Why.
+        reason: DropReason,
+        /// Data or control.
+        class: TrafficClass,
+    },
+    /// An agent timer fired.
+    TimerFire {
+        /// The node whose agent ran.
+        node: NodeId,
+        /// The agent-chosen cookie.
+        token: u64,
+    },
+    /// A topology transition was applied.
+    Topology(TopologyChange),
+    /// An agent-emitted protocol event (see [`ProtoEvent`]).
+    Proto {
+        /// The emitting node.
+        node: NodeId,
+        /// The event.
+        event: ProtoEvent,
+    },
+}
+
+/// One trace record: when + what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// The event.
+    pub kind: TraceKind,
+}
+
+/// Which event families to capture — the trace "level". Combine with
+/// bit-or style builder calls on [`TraceConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceLevel(u8);
+
+impl TraceLevel {
+    /// Packet tx/rx/drop events.
+    pub const PACKETS: TraceLevel = TraceLevel(1);
+    /// Timer fires.
+    pub const TIMERS: TraceLevel = TraceLevel(2);
+    /// Topology changes.
+    pub const TOPOLOGY: TraceLevel = TraceLevel(4);
+    /// Agent-emitted protocol events (including mirrored counter bumps).
+    pub const PROTOCOL: TraceLevel = TraceLevel(8);
+    /// Everything.
+    pub const ALL: TraceLevel = TraceLevel(0xf);
+
+    /// Union of two levels.
+    pub const fn with(self, other: TraceLevel) -> TraceLevel {
+        TraceLevel(self.0 | other.0)
+    }
+
+    /// Does `self` include all of `other`?
+    pub const fn includes(self, other: TraceLevel) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+/// Capture configuration: ring capacity and level / node / channel filters.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Maximum retained events; older events are overwritten (ring).
+    pub capacity: usize,
+    /// Which event families to capture.
+    pub level: TraceLevel,
+    /// Only events attributable to these nodes (`None` = all). Packet tx
+    /// filters on the sender, rx on the receiver; drops and topology
+    /// changes are node-less and always pass.
+    pub nodes: Option<BTreeSet<NodeId>>,
+    /// Only protocol events whose channel label is in this set (`None` =
+    /// all). Protocol events *without* a channel label always pass; other
+    /// event kinds are unaffected.
+    pub channels: Option<BTreeSet<String>>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity: 1 << 20,
+            level: TraceLevel::ALL,
+            nodes: None,
+            channels: None,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Capture only these event families.
+    pub fn level(mut self, level: TraceLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Capture only events attributable to `nodes`.
+    pub fn nodes(mut self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        self.nodes = Some(nodes.into_iter().collect());
+        self
+    }
+
+    /// Capture only protocol events labeled with one of `channels`
+    /// (formatted as by `Display` on the protocol's channel type).
+    pub fn channels(mut self, channels: impl IntoIterator<Item = String>) -> Self {
+        self.channels = Some(channels.into_iter().collect());
+        self
+    }
+
+    /// Ring capacity.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+}
+
+/// One hop of a reconstructed packet path: a frame of the causal chain
+/// crossing one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathHop {
+    /// When the frame entered the wire.
+    pub sent_at: SimTime,
+    /// Sending node.
+    pub from: NodeId,
+    /// The link crossed.
+    pub link: LinkId,
+    /// Receiving node (`None` when every copy was dropped).
+    pub to: Option<NodeId>,
+    /// When it arrived (`None` if dropped).
+    pub arrived_at: Option<SimTime>,
+    /// The frame id of this hop.
+    pub id: PacketId,
+}
+
+/// The reconstructed path of one causal packet chain (one original send and
+/// every forwarded copy): the distribution-tree slice that frame exercised.
+#[derive(Debug, Clone, Default)]
+pub struct PacketPath {
+    /// Every hop, in send order.
+    pub hops: Vec<PathHop>,
+}
+
+impl PacketPath {
+    /// The set of links the chain crossed (deduplicated).
+    pub fn links(&self) -> BTreeSet<LinkId> {
+        self.hops.iter().map(|h| h.link).collect()
+    }
+
+    /// Nodes that received some frame of the chain.
+    pub fn receivers(&self) -> BTreeSet<NodeId> {
+        self.hops.iter().filter_map(|h| h.to).collect()
+    }
+
+    /// Did any link carry two frames of this chain (a forwarding loop or
+    /// duplicate delivery — never legal on a distribution tree)?
+    pub fn has_duplicate_link(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.hops.iter().any(|h| !seen.insert(h.link))
+    }
+}
+
+/// The in-memory event ring plus capture filters.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    cfg: TraceConfig,
+    ring: VecDeque<TraceEvent>,
+    /// Events discarded because the ring was full.
+    overwritten: u64,
+}
+
+impl TraceBuffer {
+    /// An empty buffer with the given configuration.
+    pub fn new(cfg: TraceConfig) -> Self {
+        TraceBuffer {
+            ring: VecDeque::with_capacity(cfg.capacity.min(4096)),
+            cfg,
+            overwritten: 0,
+        }
+    }
+
+    /// A buffer holding `events` (e.g. re-imported from JSONL via
+    /// [`parse_jsonl`](Self::parse_jsonl)), so the query API — path
+    /// reconstruction, data roots — works on saved traces too.
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        TraceBuffer {
+            cfg: TraceConfig::default().capacity(events.len().max(1)),
+            ring: events.into(),
+            overwritten: 0,
+        }
+    }
+
+    /// The capture configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// How many captured events were overwritten by newer ones.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Does `kind` pass the configured filters?
+    fn admits(&self, kind: &TraceKind) -> bool {
+        let level = match kind {
+            TraceKind::PacketTx { .. } | TraceKind::PacketRx { .. } | TraceKind::PacketDrop { .. } => {
+                TraceLevel::PACKETS
+            }
+            TraceKind::TimerFire { .. } => TraceLevel::TIMERS,
+            TraceKind::Topology(_) => TraceLevel::TOPOLOGY,
+            TraceKind::Proto { .. } => TraceLevel::PROTOCOL,
+        };
+        if !self.cfg.level.includes(level) {
+            return false;
+        }
+        if let Some(nodes) = &self.cfg.nodes {
+            let node = match kind {
+                TraceKind::PacketTx { node, .. }
+                | TraceKind::PacketRx { node, .. }
+                | TraceKind::TimerFire { node, .. }
+                | TraceKind::Proto { node, .. } => Some(*node),
+                TraceKind::PacketDrop { .. } | TraceKind::Topology(_) => None,
+            };
+            if let Some(n) = node {
+                if !nodes.contains(&n) {
+                    return false;
+                }
+            }
+        }
+        if let Some(channels) = &self.cfg.channels {
+            if let TraceKind::Proto { event, .. } = kind {
+                if let Some(c) = &event.channel {
+                    if !channels.contains(c) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Record an event (subject to filters and the ring bound).
+    pub(crate) fn push(&mut self, at: SimTime, kind: TraceKind) {
+        if !self.admits(&kind) {
+            return;
+        }
+        if self.ring.len() >= self.cfg.capacity {
+            self.ring.pop_front();
+            self.overwritten += 1;
+        }
+        self.ring.push_back(TraceEvent { at, kind });
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// The root [`PacketId`]s of all captured *data* packet chains: data
+    /// transmissions performed outside any arrival dispatch (an original
+    /// source send, not a forwarded copy).
+    pub fn data_roots(&self) -> Vec<PacketId> {
+        self.ring
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceKind::PacketTx {
+                    id,
+                    cause: None,
+                    class: TrafficClass::Data,
+                    ..
+                } => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Reconstruct the path of the causal chain rooted at `root`: every
+    /// transmission with that root, joined with its delivery (or lack of
+    /// one). This is the §3.2 distribution-tree slice one data packet
+    /// exercised — tests assert tree *shape* with it, not just totals.
+    pub fn packet_path(&self, root: PacketId) -> PacketPath {
+        let mut rx: BTreeMap<PacketId, Vec<(NodeId, SimTime)>> = BTreeMap::new();
+        for e in &self.ring {
+            if let TraceKind::PacketRx { node, id, root: r, .. } = &e.kind {
+                if *r == root {
+                    rx.entry(*id).or_default().push((*node, e.at));
+                }
+            }
+        }
+        let mut path = PacketPath::default();
+        for e in &self.ring {
+            if let TraceKind::PacketTx {
+                node, link, id, root: r, ..
+            } = &e.kind
+            {
+                if *r != root {
+                    continue;
+                }
+                match rx.get(id) {
+                    Some(arrivals) => {
+                        for (to, when) in arrivals {
+                            path.hops.push(PathHop {
+                                sent_at: e.at,
+                                from: *node,
+                                link: *link,
+                                to: Some(*to),
+                                arrived_at: Some(*when),
+                                id: *id,
+                            });
+                        }
+                    }
+                    None => path.hops.push(PathHop {
+                        sent_at: e.at,
+                        from: *node,
+                        link: *link,
+                        to: None,
+                        arrived_at: None,
+                        id: *id,
+                    }),
+                }
+            }
+        }
+        path
+    }
+
+    // ---- JSONL export / import ------------------------------------------
+
+    /// Serialize the retained events as JSON Lines (one object per event,
+    /// schema in `docs/OBSERVABILITY.md`). Deterministic: two identical
+    /// runs produce byte-identical output.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.ring.len() * 64);
+        for e in &self.ring {
+            write_jsonl_line(&mut out, e);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse events from JSON Lines previously produced by
+    /// [`to_jsonl`](Self::to_jsonl). Unknown lines are skipped; returns the
+    /// parsed events in order.
+    pub fn parse_jsonl(text: &str) -> Vec<TraceEvent> {
+        text.lines().filter_map(parse_jsonl_line).collect()
+    }
+}
+
+fn write_str_field(out: &mut String, key: &str, val: &str) {
+    let _ = write!(out, ",\"{key}\":\"");
+    for ch in val.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn class_str(class: TrafficClass) -> &'static str {
+    match class {
+        TrafficClass::Data => "data",
+        TrafficClass::Control => "control",
+    }
+}
+
+fn write_jsonl_line(out: &mut String, e: &TraceEvent) {
+    let t = e.at.micros();
+    match &e.kind {
+        TraceKind::PacketTx {
+            node,
+            iface,
+            link,
+            id,
+            cause,
+            root,
+            bytes,
+            class,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"t\":{t},\"ev\":\"pkt_tx\",\"node\":{},\"iface\":{},\"link\":{},\"id\":{},\"root\":{}",
+                node.0, iface.0, link.0, id.0, root.0
+            );
+            if let Some(c) = cause {
+                let _ = write!(out, ",\"cause\":{}", c.0);
+            }
+            let _ = write!(out, ",\"bytes\":{bytes},\"class\":\"{}\"}}", class_str(*class));
+        }
+        TraceKind::PacketRx {
+            node,
+            iface,
+            id,
+            root,
+            age,
+            class,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"t\":{t},\"ev\":\"pkt_rx\",\"node\":{},\"iface\":{},\"id\":{},\"root\":{},\"age_us\":{},\"class\":\"{}\"}}",
+                node.0,
+                iface.0,
+                id.0,
+                root.0,
+                age.micros(),
+                class_str(*class)
+            );
+        }
+        TraceKind::PacketDrop { link, id, reason, class } => {
+            let _ = write!(
+                out,
+                "{{\"t\":{t},\"ev\":\"drop\",\"link\":{},\"id\":{},\"reason\":\"{}\",\"class\":\"{}\"}}",
+                link.0,
+                id.0,
+                reason.as_str(),
+                class_str(*class)
+            );
+        }
+        TraceKind::TimerFire { node, token } => {
+            let _ = write!(out, "{{\"t\":{t},\"ev\":\"timer\",\"node\":{},\"token\":{token}}}", node.0);
+        }
+        TraceKind::Topology(change) => {
+            let (kind, entity) = match change {
+                TopologyChange::LinkDown(l) => ("link_down", l.0),
+                TopologyChange::LinkUp(l) => ("link_up", l.0),
+                TopologyChange::NodeDown(n) => ("node_down", n.0),
+                TopologyChange::NodeUp(n) => ("node_up", n.0),
+            };
+            let _ = write!(out, "{{\"t\":{t},\"ev\":\"topo\",\"change\":\"{kind}\",\"entity\":{entity}}}");
+        }
+        TraceKind::Proto { node, event } => {
+            let _ = write!(out, "{{\"t\":{t},\"ev\":\"proto\",\"node\":{}", node.0);
+            write_str_field(out, "name", &event.name);
+            if let Some(c) = &event.channel {
+                write_str_field(out, "chan", c);
+            }
+            if let Some(v) = event.value {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+            if let Some(d) = &event.detail {
+                write_str_field(out, "detail", d);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// A minimal flat-object JSON parser for the schema written by
+/// [`TraceBuffer::to_jsonl`]: one level deep, string / integer values only.
+fn parse_flat_object(line: &str) -> Option<BTreeMap<String, String>> {
+    let line = line.trim();
+    let inner = line.strip_prefix('{')?.strip_suffix('}')?;
+    let mut map = BTreeMap::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Key.
+        while i < bytes.len() && (bytes[i] == b',' || bytes[i] == b' ') {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        if bytes[i] != b'"' {
+            return None;
+        }
+        i += 1;
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += 1;
+        }
+        let key = inner[key_start..i].to_string();
+        i += 1; // closing quote
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i += 1;
+        // Value: string (with escapes) or bare token.
+        if i < bytes.len() && bytes[i] == b'"' {
+            i += 1;
+            let mut val = String::new();
+            while i < bytes.len() && bytes[i] != b'"' {
+                if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                    i += 1;
+                    match bytes[i] {
+                        b'n' => val.push('\n'),
+                        b'u' => {
+                            let hex = inner.get(i + 1..i + 5)?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            val.push(char::from_u32(code)?);
+                            i += 4;
+                        }
+                        c => val.push(c as char),
+                    }
+                    i += 1;
+                } else {
+                    // Multi-byte UTF-8: copy the whole char.
+                    let ch = inner[i..].chars().next()?;
+                    val.push(ch);
+                    i += ch.len_utf8();
+                }
+            }
+            i += 1;
+            map.insert(key, val);
+        } else {
+            let val_start = i;
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+            map.insert(key, inner[val_start..i].trim().to_string());
+        }
+    }
+    Some(map)
+}
+
+fn parse_jsonl_line(line: &str) -> Option<TraceEvent> {
+    let m = parse_flat_object(line)?;
+    let at = SimTime(m.get("t")?.parse().ok()?);
+    let u64f = |k: &str| -> Option<u64> { m.get(k)?.parse().ok() };
+    let class = || -> TrafficClass {
+        match m.get("class").map(String::as_str) {
+            Some("control") => TrafficClass::Control,
+            _ => TrafficClass::Data,
+        }
+    };
+    let kind = match m.get("ev")?.as_str() {
+        "pkt_tx" => TraceKind::PacketTx {
+            node: NodeId(u64f("node")? as u32),
+            iface: IfaceId(u64f("iface")? as u8),
+            link: LinkId(u64f("link")? as u32),
+            id: PacketId(u64f("id")?),
+            cause: u64f("cause").map(PacketId),
+            root: PacketId(u64f("root")?),
+            bytes: u64f("bytes")? as u32,
+            class: class(),
+        },
+        "pkt_rx" => TraceKind::PacketRx {
+            node: NodeId(u64f("node")? as u32),
+            iface: IfaceId(u64f("iface")? as u8),
+            id: PacketId(u64f("id")?),
+            root: PacketId(u64f("root")?),
+            age: SimDuration(u64f("age_us")?),
+            class: class(),
+        },
+        "drop" => TraceKind::PacketDrop {
+            link: LinkId(u64f("link")? as u32),
+            id: PacketId(u64f("id")?),
+            reason: match m.get("reason").map(String::as_str) {
+                Some("link_down") => DropReason::LinkDown,
+                Some("node_down") => DropReason::NodeDown,
+                _ => DropReason::Loss,
+            },
+            class: class(),
+        },
+        "timer" => TraceKind::TimerFire {
+            node: NodeId(u64f("node")? as u32),
+            token: u64f("token")?,
+        },
+        "topo" => {
+            let entity = u64f("entity")? as u32;
+            TraceKind::Topology(match m.get("change")?.as_str() {
+                "link_down" => TopologyChange::LinkDown(LinkId(entity)),
+                "link_up" => TopologyChange::LinkUp(LinkId(entity)),
+                "node_down" => TopologyChange::NodeDown(NodeId(entity)),
+                "node_up" => TopologyChange::NodeUp(NodeId(entity)),
+                _ => return None,
+            })
+        }
+        "proto" => TraceKind::Proto {
+            node: NodeId(u64f("node")? as u32),
+            event: ProtoEvent {
+                name: std::borrow::Cow::Owned(m.get("name")?.clone()),
+                channel: m.get("chan").cloned(),
+                value: u64f("value"),
+                detail: m.get("detail").cloned(),
+            },
+        },
+        _ => return None,
+    };
+    Some(TraceEvent { at, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(id: u64, root: u64, cause: Option<u64>, node: u32, link: u32) -> TraceKind {
+        TraceKind::PacketTx {
+            node: NodeId(node),
+            iface: IfaceId(0),
+            link: LinkId(link),
+            id: PacketId(id),
+            cause: cause.map(PacketId),
+            root: PacketId(root),
+            bytes: 100,
+            class: TrafficClass::Data,
+        }
+    }
+
+    fn rx(id: u64, root: u64, node: u32) -> TraceKind {
+        TraceKind::PacketRx {
+            node: NodeId(node),
+            iface: IfaceId(0),
+            id: PacketId(id),
+            root: PacketId(root),
+            age: SimDuration(500),
+            class: TrafficClass::Data,
+        }
+    }
+
+    #[test]
+    fn ring_bound_and_overwrite_count() {
+        let mut b = TraceBuffer::new(TraceConfig::default().capacity(2));
+        for i in 0..5 {
+            b.push(SimTime(i), TraceKind::TimerFire { node: NodeId(0), token: i });
+        }
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.overwritten(), 3);
+        let tokens: Vec<u64> = b
+            .events()
+            .map(|e| match e.kind {
+                TraceKind::TimerFire { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tokens, vec![3, 4]);
+    }
+
+    #[test]
+    fn level_and_node_filters() {
+        let mut b = TraceBuffer::new(TraceConfig::default().level(TraceLevel::TIMERS).nodes([NodeId(1)]));
+        b.push(SimTime(0), tx(1, 1, None, 1, 0)); // wrong level
+        b.push(SimTime(0), TraceKind::TimerFire { node: NodeId(0), token: 0 }); // wrong node
+        b.push(SimTime(0), TraceKind::TimerFire { node: NodeId(1), token: 7 });
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn channel_filter_applies_to_proto_events_only() {
+        let mut b = TraceBuffer::new(TraceConfig::default().channels(["A".to_string()]));
+        let ev = |chan: Option<&str>| TraceKind::Proto {
+            node: NodeId(0),
+            event: ProtoEvent {
+                name: "x.y".into(),
+                channel: chan.map(String::from),
+                value: None,
+                detail: None,
+            },
+        };
+        b.push(SimTime(0), ev(Some("A")));
+        b.push(SimTime(0), ev(Some("B"))); // filtered
+        b.push(SimTime(0), ev(None)); // unlabeled passes
+        b.push(SimTime(0), tx(1, 1, None, 0, 0)); // non-proto unaffected
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn path_reconstruction_follows_causal_chain() {
+        let mut b = TraceBuffer::new(TraceConfig::default());
+        // src(0) -l0-> r(1) -l1-> rcv(2); a second unrelated chain on l0.
+        b.push(SimTime(0), tx(1, 1, None, 0, 0));
+        b.push(SimTime(10), rx(1, 1, 1));
+        b.push(SimTime(10), tx(2, 1, Some(1), 1, 1));
+        b.push(SimTime(20), rx(2, 1, 2));
+        b.push(SimTime(30), tx(3, 3, None, 0, 0));
+        assert_eq!(b.data_roots(), vec![PacketId(1), PacketId(3)]);
+        let p = b.packet_path(PacketId(1));
+        assert_eq!(p.hops.len(), 2);
+        assert_eq!(p.links().into_iter().collect::<Vec<_>>(), vec![LinkId(0), LinkId(1)]);
+        assert_eq!(p.receivers().into_iter().collect::<Vec<_>>(), vec![NodeId(1), NodeId(2)]);
+        assert!(!p.has_duplicate_link());
+        // A chain whose only frame was never delivered: hop with to=None.
+        let p3 = b.packet_path(PacketId(3));
+        assert_eq!(p3.hops.len(), 1);
+        assert_eq!(p3.hops[0].to, None);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut b = TraceBuffer::new(TraceConfig::default());
+        b.push(SimTime(5), tx(1, 1, None, 0, 2));
+        b.push(SimTime(6), rx(1, 1, 3));
+        b.push(
+            SimTime(7),
+            TraceKind::PacketDrop {
+                link: LinkId(2),
+                id: PacketId(1),
+                reason: DropReason::LinkDown,
+                class: TrafficClass::Control,
+            },
+        );
+        b.push(SimTime(8), TraceKind::TimerFire { node: NodeId(4), token: 99 });
+        b.push(SimTime(9), TraceKind::Topology(TopologyChange::NodeDown(NodeId(2))));
+        b.push(
+            SimTime(10),
+            TraceKind::Proto {
+                node: NodeId(1),
+                event: ProtoEvent::default()
+                    .value(3)
+                    .chan("(10.0.0.5, 232.0.0.1)")
+                    .detail("old=\"10.0.0.9\"\nnew=10.0.0.8"),
+            },
+        );
+        let text = b.to_jsonl();
+        assert_eq!(text.lines().count(), 6);
+        let parsed = TraceBuffer::parse_jsonl(&text);
+        let original: Vec<TraceEvent> = b.events().cloned().collect();
+        assert_eq!(parsed, original);
+    }
+}

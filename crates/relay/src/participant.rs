@@ -233,6 +233,10 @@ impl Participant {
             self.active_primary = false;
             self.events.push(ParticipantEvent::FailedOver { at: now });
             ctx.count("relay.failover", 1);
+            ctx.trace("relay.failover", |e| match self.backup {
+                Some(b) => e.chan(b).detail(format!("{:?} standby", self.standby)),
+                None => e,
+            });
             if self.standby == StandbyMode::Cold {
                 // Cold standby: the backup tree is built only now.
                 if let Some(b) = self.backup {

@@ -1,0 +1,227 @@
+//! Observability-layer integration tests: trace determinism, tree-shape
+//! assertions over reconstructed packet paths, zero-overhead-when-disabled,
+//! and the EXPRESS-TCP reconvergence bound measured through the metrics
+//! probe API (the `docs/FAILURE_MODEL.md` contract, now checked by
+//! instrument rather than asserted by prose).
+
+use express::host::{ExpressHost, HostAction};
+use express::router::{EcmpRouter, RouterConfig};
+use express_wire::addr::Channel;
+use netsim::stats::LinkStats;
+use netsim::time::{SimDuration, SimTime};
+use netsim::topology::LinkSpec;
+use netsim::{LinkId, MetricsConfig, NodeId, Sim, Topology, TraceConfig, TraceKind};
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime(ms * 1000)
+}
+
+/// The redundant-path diamond from `fig_recovery`: src—r0—{r1,r2}—r3—rcv.
+/// ECMP picks exactly one middle path per RPF; the other must stay dark.
+struct Diamond {
+    topo: Topology,
+    routers: [NodeId; 4],
+    src: NodeId,
+    rcv: NodeId,
+    l13: LinkId,
+    l23: LinkId,
+}
+
+fn diamond() -> Diamond {
+    let mut t = Topology::new();
+    let r0 = t.add_router();
+    let r1 = t.add_router();
+    let r2 = t.add_router();
+    let r3 = t.add_router();
+    t.connect(r0, r1, LinkSpec::default()).unwrap();
+    t.connect(r0, r2, LinkSpec::default()).unwrap();
+    let l13 = t.connect(r1, r3, LinkSpec::default()).unwrap();
+    let l23 = t.connect(r2, r3, LinkSpec::default()).unwrap();
+    let src = t.add_host();
+    t.connect(src, r0, LinkSpec::default()).unwrap();
+    let rcv = t.add_host();
+    t.connect(rcv, r3, LinkSpec::default()).unwrap();
+    Diamond { topo: t, routers: [r0, r1, r2, r3], src, rcv, l13, l23 }
+}
+
+/// Build an EXPRESS sim over the diamond, subscribe the receiver, and
+/// schedule a 10 ms-cadence data stream (the FAILURE_MODEL reference
+/// workload) from `stream_start_ms` to `stream_end_ms`.
+fn express_diamond(d: &Diamond, seed: u64, cfg: RouterConfig, stream: (u64, u64)) -> (Sim, Channel) {
+    let mut sim = Sim::new(d.topo.clone(), seed);
+    for r in d.routers {
+        sim.set_agent(r, Box::new(EcmpRouter::new(cfg)));
+        sim.set_restart_factory(r, Box::new(move || Box::new(EcmpRouter::new(cfg))));
+    }
+    sim.set_agent(d.src, Box::new(ExpressHost::new()));
+    sim.set_agent(d.rcv, Box::new(ExpressHost::new()));
+    let chan = Channel::new(sim.topology().ip(d.src), 1).unwrap();
+    ExpressHost::schedule(&mut sim, d.rcv, at_ms(1), HostAction::Subscribe { channel: chan, key: None });
+    let mut t = stream.0;
+    while t <= stream.1 {
+        ExpressHost::schedule(&mut sim, d.src, at_ms(t), HostAction::SendData { channel: chan, payload_len: 100 });
+        t += 10;
+    }
+    (sim, chan)
+}
+
+/// Same seed ⇒ byte-identical trace streams (the determinism contract now
+/// extends to the observability layer: JSONL export included).
+#[test]
+fn same_seed_produces_byte_identical_traces() {
+    let run = |seed: u64| -> String {
+        let d = diamond();
+        let (mut sim, _) = express_diamond(&d, seed, RouterConfig::default(), (100, 500));
+        sim.enable_trace(TraceConfig::default());
+        sim.run_until(at_ms(1_000));
+        sim.take_trace().expect("trace enabled").to_jsonl()
+    };
+    let a = run(42);
+    let b = run(42);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "two same-seed runs must serialize identical traces");
+    // A different seed still produces the same event sequence here (no
+    // datagram loss on these links), so assert on content instead: the
+    // trace contains all event families the schema promises.
+    for needle in ["\"ev\":\"pkt_tx\"", "\"ev\":\"pkt_rx\"", "\"ev\":\"timer\"", "\"ev\":\"proto\""] {
+        assert!(a.contains(needle), "trace missing {needle}");
+    }
+}
+
+/// §3.2 tree shape, asserted per-packet: every EXPRESS data packet's
+/// reconstructed path must stay on the RPF tree — in the diamond, one
+/// middle link carries everything and the other carries nothing, no path
+/// crosses any link twice, and every chain ends at the subscribed host.
+#[test]
+fn express_data_never_leaves_the_tree() {
+    let d = diamond();
+    let (mut sim, _) = express_diamond(&d, 7, RouterConfig::default(), (100, 1_000));
+    sim.enable_trace(TraceConfig::default());
+    sim.run_until(at_ms(1_500));
+    let trace = sim.take_trace().expect("trace enabled");
+
+    let roots = trace.data_roots();
+    assert!(roots.len() >= 90, "expected ~91 data chains, got {}", roots.len());
+    // The tree settles with the first subscription, long before the stream
+    // starts — every chain must use one and the same middle link.
+    let on_tree = {
+        let first = trace.packet_path(roots[0]);
+        let uses_13 = first.links().contains(&d.l13);
+        if uses_13 { d.l13 } else { d.l23 }
+    };
+    let off_tree = if on_tree == d.l13 { d.l23 } else { d.l13 };
+    for &root in &roots {
+        let path = trace.packet_path(root);
+        assert!(!path.has_duplicate_link(), "chain {root} crossed a link twice");
+        assert!(
+            !path.links().contains(&off_tree),
+            "chain {root} used non-tree link {off_tree}"
+        );
+        assert!(
+            path.receivers().contains(&d.rcv),
+            "chain {root} never reached the subscriber"
+        );
+    }
+    // Cross-check against the flat counters: the off-tree link carried no
+    // data at all.
+    assert_eq!(sim.stats().link(off_tree).data_packets, 0);
+    assert!(sim.stats().link(on_tree).data_packets > 0);
+}
+
+/// Acceptance criterion: tracing + metrics disabled vs enabled changes no
+/// named counter and no per-link statistic — observability is pure
+/// observation.
+#[test]
+fn tracing_does_not_perturb_stats() {
+    let observe = |instrumented: bool| -> (Vec<(String, u64)>, Vec<LinkStats>, u64) {
+        let d = diamond();
+        let (mut sim, _) = express_diamond(&d, 99, RouterConfig::default(), (100, 2_000));
+        if instrumented {
+            sim.enable_trace(TraceConfig::default());
+            sim.enable_metrics(MetricsConfig::default());
+        }
+        sim.run_until(at_ms(3_000));
+        let named = sim.stats().named_counters().map(|(k, v)| (k.to_string(), v)).collect();
+        let links = (0..sim.topology().link_count())
+            .map(|i| sim.stats().link(LinkId(i as u32)))
+            .collect();
+        (named, links, sim.events_processed())
+    };
+    let (named_off, links_off, events_off) = observe(false);
+    let (named_on, links_on, events_on) = observe(true);
+    assert_eq!(named_off, named_on, "tracing must not change named counters");
+    assert_eq!(links_off, links_on, "tracing must not change per-link stats");
+    assert_eq!(events_off, events_on, "tracing must not change the event schedule");
+    assert!(!named_off.is_empty());
+}
+
+/// The FAILURE_MODEL.md bound, measured through the probe API: EXPRESS in
+/// TCP mode re-joins within one control RTT of a LinkDown, losing about one
+/// in-flight packet at a 10 ms send cadence. With 1 ms-latency links the
+/// control RTT is single-digit milliseconds, so fault → first restored
+/// delivery must come in under one stream period plus that RTT (generous
+/// ceiling: 30 ms), and the torn window must span at most ~2 packets.
+#[test]
+fn express_tcp_linkdown_reconvergence_within_failure_model_bound() {
+    let d = diamond();
+    let cfg = RouterConfig {
+        neighbor_probe: None,
+        hysteresis: SimDuration::from_millis(100),
+        ..Default::default()
+    };
+    let (mut sim, _) = express_diamond(&d, 1999, cfg, (100, 5_000));
+    sim.enable_metrics(MetricsConfig::default().bucket(SimDuration::from_millis(100)));
+
+    // Settle, find the middle link the tree uses, then cut it.
+    sim.run_until(at_ms(2_000));
+    let active = if sim.stats().link(d.l13).data_packets >= sim.stats().link(d.l23).data_packets {
+        d.l13
+    } else {
+        d.l23
+    };
+    let fault_at = at_ms(2_500);
+    sim.schedule_link_change(fault_at, active, false);
+    sim.run_until(at_ms(5_500));
+
+    let m = sim.metrics().expect("metrics enabled");
+    // The fault was recorded as a mark, and the probe sees recovery.
+    assert!(
+        m.fault_marks().iter().any(|&(t, _)| t == fault_at),
+        "LinkDown not recorded as a fault mark"
+    );
+    let rec = m
+        .reconvergence_after(fault_at)
+        .expect("delivery never resumed after LinkDown");
+    assert!(
+        rec <= SimDuration::from_millis(30),
+        "EXPRESS-TCP reconvergence {rec} exceeds the FAILURE_MODEL bound (~1 control RTT + one 10 ms period)"
+    );
+    // "~1 in-flight packet lost": no outage window of 3+ packet periods.
+    let gaps = m.delivery_gaps(at_ms(100), at_ms(5_000), SimDuration::from_millis(30));
+    assert!(
+        gaps.is_empty(),
+        "delivery gap of 3+ stream periods around the fault: {gaps:?}"
+    );
+}
+
+/// The trace records the fault schedule as it executed (topology events),
+/// and drops of in-flight frames on the cut link are attributed.
+#[test]
+fn topology_changes_and_drops_appear_in_trace() {
+    let d = diamond();
+    let (mut sim, _) = express_diamond(&d, 3, RouterConfig::default(), (100, 2_000));
+    sim.enable_trace(TraceConfig::default());
+    sim.run_until(at_ms(1_000));
+    let active = if sim.stats().link(d.l13).data_packets >= sim.stats().link(d.l23).data_packets {
+        d.l13
+    } else {
+        d.l23
+    };
+    sim.schedule_link_change(at_ms(1_200), active, false);
+    sim.run_until(at_ms(2_500));
+    let trace = sim.take_trace().unwrap();
+    let saw_down = trace.events().any(|e| {
+        matches!(e.kind, TraceKind::Topology(netsim::TopologyChange::LinkDown(l)) if l == active)
+    });
+    assert!(saw_down, "LinkDown missing from trace");
+}

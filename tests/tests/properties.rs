@@ -23,7 +23,7 @@ use session_relay::floor::{FloorControl, FloorDecision};
 const CASES: usize = 256;
 
 fn rng() -> StdRng {
-    StdRng::seed_from_u64(0xE0F1_55_1999) // EXPRESS '99
+    StdRng::seed_from_u64(0x00E0_F155_1999) // EXPRESS '99
 }
 
 fn arb_unicast_ip(r: &mut StdRng) -> Ipv4Addr {
