@@ -15,7 +15,7 @@ use crate::util;
 use express_wire::addr::Ipv4Addr;
 use express_wire::cbt::CbtMessage;
 use express_wire::ipv4::{self, Ipv4Repr, Protocol};
-use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::engine::{Agent, Ctx, Payload, Reliability, Tx};
 use netsim::id::IfaceId;
 use netsim::stats::TrafficClass;
 use std::any::Any;
@@ -224,7 +224,7 @@ impl CbtRouter {
         let mut v: Vec<IfaceId> = out_ifaces.into_iter().collect();
         v.sort();
         for i in v {
-            ctx.send(i, &out, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
+            ctx.send_shared(i, out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
         }
         self.counters.data_forwarded += 1;
         ctx.count("cbt.data_fwd", 1);
@@ -258,7 +258,7 @@ impl CbtRouter {
 }
 
 impl Agent for CbtRouter {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], class: TrafficClass) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, class: TrafficClass) {
         let me = ctx.my_ip();
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         let payload = &bytes[ipv4::HEADER_LEN..ipv4::HEADER_LEN + header.payload_len];

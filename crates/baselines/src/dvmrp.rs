@@ -13,7 +13,7 @@ use crate::util;
 use express_wire::addr::Ipv4Addr;
 use express_wire::dvmrp::DvmrpMessage;
 use express_wire::ipv4::{self, Ipv4Repr, Protocol};
-use netsim::engine::{Agent, Ctx, Reliability, TopologyChange, Tx};
+use netsim::engine::{Agent, Ctx, Payload, Reliability, TopologyChange, Tx};
 use netsim::id::IfaceId;
 use netsim::stats::TrafficClass;
 use netsim::time::{SimDuration, SimTime};
@@ -151,7 +151,7 @@ impl DvmrpRouter {
         if !oifs.is_empty() {
             let out = util::patch_ttl(bytes, header.ttl - 1);
             for &i in &oifs {
-                ctx.send(i, &out, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
+                ctx.send_shared(i, out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
             }
             self.counters.data_forwarded += 1;
             ctx.count("dvmrp.data_fwd", 1);
@@ -247,7 +247,7 @@ impl Default for DvmrpRouter {
 }
 
 impl Agent for DvmrpRouter {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], class: TrafficClass) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, class: TrafficClass) {
         let me = ctx.my_ip();
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         let payload = &bytes[ipv4::HEADER_LEN..ipv4::HEADER_LEN + header.payload_len];

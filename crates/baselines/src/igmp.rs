@@ -12,7 +12,7 @@ use crate::util;
 use express_wire::addr::Ipv4Addr;
 use express_wire::igmp::{GroupRecord, IgmpV2, IgmpV3, RecordType};
 use express_wire::ipv4::{self, Ipv4Repr, Protocol};
-use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::engine::{Agent, Ctx, Payload, Reliability, Tx};
 use netsim::id::{IfaceId, NodeId};
 use netsim::stats::TrafficClass;
 use netsim::time::{SimDuration, SimTime};
@@ -224,7 +224,7 @@ impl GroupHost {
 }
 
 impl Agent for GroupHost {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &[u8], _class: TrafficClass) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &Payload, _class: TrafficClass) {
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         let payload = &bytes[ipv4::HEADER_LEN..ipv4::HEADER_LEN + header.payload_len];
         match header.protocol {

@@ -27,7 +27,7 @@ use crate::util;
 use express_wire::addr::Ipv4Addr;
 use express_wire::ipv4::{self, Ipv4Repr, Protocol};
 use express_wire::pim::{GroupBlock, PimMessage, SourceEntry};
-use netsim::engine::{Agent, Ctx, Reliability, TopologyChange, Tx};
+use netsim::engine::{Agent, Ctx, Payload, Reliability, TopologyChange, Tx};
 use netsim::id::IfaceId;
 use netsim::stats::TrafficClass;
 use netsim::time::{SimDuration, SimTime};
@@ -285,7 +285,7 @@ impl PimRouter {
         }
         let out = util::patch_ttl(bytes, header.ttl - 1);
         for &i in oifs {
-            ctx.send(i, &out, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
+            ctx.send_shared(i, out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
         }
         self.counters.data_forwarded += 1;
         ctx.count("pim.data_fwd", 1);
@@ -500,7 +500,7 @@ impl Agent for PimRouter {
         ctx.set_timer(self.cfg.join_refresh, TIMER_REFRESH);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], class: TrafficClass) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, class: TrafficClass) {
         let me = ctx.my_ip();
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         let payload = &bytes[ipv4::HEADER_LEN..ipv4::HEADER_LEN + header.payload_len];

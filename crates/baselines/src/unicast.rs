@@ -9,7 +9,7 @@
 use crate::util;
 use express_wire::addr::Ipv4Addr;
 use express_wire::ipv4::{Ipv4Repr, Protocol};
-use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::engine::{Agent, Ctx, Payload, Reliability, Tx};
 use netsim::id::{IfaceId, NodeId};
 use netsim::stats::TrafficClass;
 use netsim::time::SimTime;
@@ -82,7 +82,7 @@ impl UnicastSink {
 }
 
 impl Agent for UnicastSink {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &[u8], _class: TrafficClass) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &Payload, _class: TrafficClass) {
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         if header.dst == ctx.my_ip() && header.protocol == Protocol::Udp {
             self.received.push((ctx.now(), header.src, header.payload_len));
@@ -100,7 +100,7 @@ impl Agent for UnicastSink {
 pub struct UnicastRouter;
 
 impl Agent for UnicastRouter {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &[u8], class: TrafficClass) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &Payload, class: TrafficClass) {
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         if header.dst != ctx.my_ip() && !header.dst.is_multicast() {
             let _ = util::forward_unicast(ctx, bytes, header, class);

@@ -2,7 +2,7 @@
 
 use express_wire::addr::Ipv4Addr;
 use express_wire::ipv4::{self, Ipv4Repr, Protocol};
-use netsim::engine::{Ctx, Reliability, Tx};
+use netsim::engine::{Ctx, Payload, Reliability, Tx};
 use netsim::stats::TrafficClass;
 
 /// Default TTL for generated datagrams.
@@ -38,9 +38,11 @@ pub fn unicast_datagram(src: Ipv4Addr, dst: Ipv4Addr, protocol: Protocol, payloa
     buf
 }
 
-/// Rewrite the TTL (and checksum) of a datagram.
-pub fn patch_ttl(bytes: &[u8], new_ttl: u8) -> Vec<u8> {
-    let mut out = bytes.to_vec();
+/// Rewrite the TTL (and checksum) of a datagram into a shared buffer, so
+/// one patch per hop serves every out-interface via `Ctx::send_shared`.
+pub fn patch_ttl(bytes: &[u8], new_ttl: u8) -> Payload {
+    let mut arc: Payload = Payload::from(bytes);
+    let out = Payload::get_mut(&mut arc).expect("freshly built, uniquely owned");
     if out.len() >= ipv4::HEADER_LEN {
         out[8] = new_ttl;
         out[10] = 0;
@@ -48,7 +50,7 @@ pub fn patch_ttl(bytes: &[u8], new_ttl: u8) -> Vec<u8> {
         let ck = express_wire::checksum::checksum(&out[..ipv4::HEADER_LEN]);
         out[10..12].copy_from_slice(&ck.to_be_bytes());
     }
-    out
+    arc
 }
 
 /// Forward a unicast datagram one hop along the shortest path; returns true
@@ -62,7 +64,7 @@ pub fn forward_unicast(ctx: &mut Ctx<'_>, bytes: &[u8], header: Ipv4Repr, class:
     };
     let out = patch_ttl(bytes, header.ttl - 1);
     let next = hop.next;
-    ctx.send(hop.iface, &out, class, Reliability::Datagram, Tx::To(next))
+    ctx.send_shared(hop.iface, out, class, Reliability::Datagram, Tx::To(next))
 }
 
 /// Send a control payload out `iface` addressed to `to`, which may be a

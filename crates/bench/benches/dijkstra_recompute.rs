@@ -1,0 +1,86 @@
+//! Shortest-path maintenance cost under topology churn: a full Dijkstra
+//! recompute per origin versus the indexed table's cached query, and the
+//! payoff of selective link-down invalidation (only origins whose tree used
+//! the failed link recompute; the rest answer from cache).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use netsim::routing::Routing;
+use netsim::topogen::{self, GenTopo};
+use netsim::topology::LinkSpec;
+use netsim::LinkId;
+use std::hint::black_box;
+
+fn topo(n_routers: usize) -> GenTopo {
+    topogen::random_connected(n_routers, n_routers / 2, 2 * n_routers, LinkSpec::default(), 42)
+}
+
+fn bench_recompute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dijkstra/recompute");
+    for n in [50usize, 200] {
+        let gt = topo(n);
+        let origin = gt.routers[0];
+        let dest = *gt.hosts.last().unwrap();
+
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("full_sssp", n), &n, |b, _| {
+            let mut r = Routing::new();
+            b.iter(|| {
+                r.invalidate();
+                r.next_hop(black_box(&gt.topo), black_box(origin), black_box(dest))
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("cached_query", n), &n, |b, _| {
+            let mut r = Routing::new();
+            r.next_hop(&gt.topo, origin, dest);
+            b.iter(|| r.next_hop(black_box(&gt.topo), black_box(origin), black_box(dest)))
+        });
+    }
+    g.finish();
+}
+
+/// Warm every router origin, kill one link, then re-answer every origin:
+/// `invalidate_link` recomputes only the origins whose tree used the link,
+/// `invalidate` recomputes all of them.
+fn bench_invalidation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dijkstra/link_down");
+    g.sample_size(20);
+    let n = 200usize;
+    let gt = topo(n);
+    let dest = *gt.hosts.last().unwrap();
+    let warm = || {
+        let mut r = Routing::new();
+        for &o in &gt.routers {
+            r.next_hop(&gt.topo, o, dest);
+        }
+        r
+    };
+    // Links are created spanning-tree first, then the redundant "extra"
+    // shortcut edges, then host attachments; kill an extra edge — the case
+    // where only the origins whose tree adopted the shortcut must recompute.
+    let link = LinkId(n as u32);
+    g.throughput(Throughput::Elements(gt.routers.len() as u64));
+    for (label, selective) in [("selective", true), ("full_flush", false)] {
+        g.bench_function(BenchmarkId::new(label, n), |b| {
+            b.iter_batched(
+                warm,
+                |mut r| {
+                    if selective {
+                        r.invalidate_link(black_box(link));
+                    } else {
+                        r.invalidate();
+                    }
+                    for &o in &gt.routers {
+                        r.next_hop(&gt.topo, o, dest);
+                    }
+                    r.compute_count()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_recompute, bench_invalidation);
+criterion_main!(benches);

@@ -1,0 +1,533 @@
+//! `bench_scale` — the data-plane scale benchmark suite.
+//!
+//! The paper's thesis is that EXPRESS serves "large-scale single-source
+//! applications" — §5.3's reference tree is "20 hops deep with a fanout of
+//! two", i.e. one **million** members. This harness drives the simulator's
+//! hot path at exactly those scales and records the performance trajectory
+//! to `BENCH_scale.json` at the repo root, so every future PR has a number
+//! to compare against:
+//!
+//! * **star fan-out** — one EXPRESS router fanning one stream out to 10⁵
+//!   receivers on a multi-access segment (the §5.1 "no fanout except at the
+//!   root" worst case, with per-channel delivery accounting at each sink);
+//! * **k-ary tree** — the §5.3 `kary_tree(2, 20)` million-subscriber
+//!   distribution tree, FIB-seeded via static routes so forwarding (not
+//!   tree construction) is what's measured;
+//! * **random graph** — a mid-size ISP-like topology where the *full* join
+//!   protocol (RPF, Count aggregation, Dijkstra) builds the tree.
+//!
+//! Metrics per scenario: events/second over a warm-up + measured window,
+//! wall-milliseconds per simulated second, peak event-queue depth, and heap
+//! allocations per event / per forwarding hop (via a counting global
+//! allocator).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p express-bench --bin bench_scale              # full suite -> BENCH_scale.json
+//! cargo run --release -p express-bench --bin bench_scale -- --quick  # CI-size -> BENCH_scale.json
+//! cargo run --release -p express-bench --bin bench_scale -- --rebaseline
+//!                                  # full suite -> results/bench_scale_baseline.json
+//! ```
+//!
+//! A committed baseline (captured on the pre-optimization tree) lives at
+//! `results/bench_scale_baseline.json`; when present, matching scenarios
+//! gain a `speedup_vs_baseline` field.
+
+use express::packets;
+use express::router::{EcmpRouter, RouterConfig};
+use express::host::{ExpressHost, HostAction};
+use express_wire::addr::Channel;
+use express_wire::fib::FibEntry;
+use netsim::stats::TrafficClass;
+use netsim::engine::{Reliability, Tx};
+use netsim::time::SimTime;
+use netsim::topogen;
+use netsim::topology::{LinkSpec, Topology};
+use netsim::{Agent, Ctx, IfaceId, Sim};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::any::Any;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+// ---------------------------------------------------------------- allocator
+
+/// Counts every heap allocation so the benchmark can report allocations per
+/// event and per forwarding hop — the quantity the zero-copy fan-out and
+/// counter-interning work drives toward zero.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// ---------------------------------------------------------------- agents
+
+/// Sends one pre-built channel-data packet out interface 0 per timer fire.
+/// The harness schedules the fire times (warm-up burst, drain gap, measured
+/// burst) via `Sim::schedule_timer_at`.
+struct Blaster {
+    pkt: Vec<u8>,
+}
+
+impl Agent for Blaster {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        ctx.send(IfaceId(0), &self.pkt, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A receiver doing per-channel delivery accounting — the §5.3 charging
+/// story at the edge: total packets plus per-channel packet and byte
+/// counters for every delivery. Uses the interned fast path: the total is
+/// bumped by pre-registered handle, the per-channel pair by
+/// `(base, channel)` probe.
+struct AccountingSink {
+    data_rx: Option<netsim::CounterId>,
+    // Per-channel counter ids, resolved on first sight of each channel so
+    // the steady-state path is three indexed bumps with no hash probes.
+    chan_ids: Option<(express_wire::addr::Channel, netsim::CounterId, netsim::CounterId)>,
+}
+
+impl AccountingSink {
+    fn new() -> Self {
+        AccountingSink { data_rx: None, chan_ids: None }
+    }
+}
+
+impl Agent for AccountingSink {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.data_rx = Some(ctx.counter("sink.data_rx"));
+    }
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &netsim::Payload, _class: TrafficClass) {
+        let me = ctx.my_ip();
+        if let Ok(packets::Classified::ChannelData { channel, header }) = packets::classify(bytes, me) {
+            match self.data_rx {
+                Some(id) => ctx.count_id(id, 1),
+                None => ctx.count("sink.data_rx", 1),
+            }
+            let (pkts, bytes_id) = match self.chan_ids {
+                Some((c, p, b)) if c == channel => (p, b),
+                _ => {
+                    let p = ctx.channel_counter("sink.rx_pkts", channel);
+                    let b = ctx.channel_counter("sink.rx_bytes", channel);
+                    self.chan_ids = Some((channel, p, b));
+                    (p, b)
+                }
+            };
+            ctx.count_id(pkts, 1);
+            ctx.count_id(bytes_id, header.payload_len as u64);
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------- harness
+
+/// A quiet router config for FIB-seeded scenarios: no probes, no queries —
+/// nothing but the forwarding fast path runs.
+fn quiet_cfg() -> RouterConfig {
+    RouterConfig {
+        neighbor_probe: None,
+        boot_query: false,
+        ..RouterConfig::default()
+    }
+}
+
+struct Measurement {
+    name: String,
+    topology: String,
+    nodes: usize,
+    links: usize,
+    subscribers: usize,
+    warmup_packets: usize,
+    measured_packets: usize,
+    setup_ms: f64,
+    events: u64,
+    sim_ms: f64,
+    wall_ms: f64,
+    events_per_sec: f64,
+    wall_ms_per_sim_sec: f64,
+    peak_queue_depth: usize,
+    allocs: u64,
+    allocs_per_event: f64,
+    data_fwd: u64,
+    allocs_per_fwd: f64,
+    delivered: u64,
+    dijkstra_computes: u64,
+    dijkstra_queries: u64,
+}
+
+/// Drive `sim` through a warm-up window ending at `warm_until` and a
+/// measured window ending at `end`, collecting deltas over the measured
+/// window only.
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    mut sim: Sim,
+    name: &str,
+    topology: &str,
+    subscribers: usize,
+    warmup_packets: usize,
+    measured_packets: usize,
+    warm_until: SimTime,
+    end: SimTime,
+    setup_ms: f64,
+    delivered_key: &str,
+) -> Measurement {
+    let nodes = sim.topology().node_count();
+    let links = sim.topology().link_count();
+    sim.run_until(warm_until);
+    let ev0 = sim.events_processed();
+    let alloc0 = ALLOCS.load(Ordering::Relaxed);
+    let fwd0 = sim.stats().named("express.data_fwd");
+    let rx0 = sim.stats().named(delivered_key);
+    let t0 = Instant::now();
+    sim.run_until(end);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let events = sim.events_processed() - ev0;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc0;
+    let data_fwd = sim.stats().named("express.data_fwd") - fwd0;
+    let delivered = sim.stats().named(delivered_key) - rx0;
+    let sim_ms = (end - warm_until).micros() as f64 / 1e3;
+    let m = Measurement {
+        name: name.into(),
+        topology: topology.into(),
+        nodes,
+        links,
+        subscribers,
+        warmup_packets,
+        measured_packets,
+        setup_ms,
+        events,
+        sim_ms,
+        wall_ms,
+        events_per_sec: events as f64 / (wall_ms / 1e3),
+        wall_ms_per_sim_sec: wall_ms / (sim_ms / 1e3),
+        peak_queue_depth: sim.peak_queue_depth(),
+        allocs,
+        allocs_per_event: allocs as f64 / events.max(1) as f64,
+        data_fwd,
+        allocs_per_fwd: allocs as f64 / data_fwd.max(1) as f64,
+        delivered,
+        dijkstra_computes: sim.routing().compute_count(),
+        dijkstra_queries: sim.routing().query_count(),
+    };
+    eprintln!(
+        "  {:<18} {:>9} subs  {:>11} events  {:>9.0} ev/s  {:>7.1} ms wall  peakq {:>8}  {:>6.2} allocs/ev",
+        m.name, m.subscribers, m.events, m.events_per_sec, m.wall_ms, m.peak_queue_depth, m.allocs_per_event
+    );
+    m
+}
+
+/// Timer schedule: `warm` fires at 1..=warm ms, then a drain gap of
+/// `drain_ms`, then `meas` fires every 1 ms, then a final drain. Returns
+/// (fire times, warm window end, run end).
+fn burst_schedule(warm: usize, meas: usize, drain_ms: u64) -> (Vec<SimTime>, SimTime, SimTime) {
+    let ms = |m: u64| SimTime(m * 1000);
+    let mut fires = Vec::new();
+    for i in 0..warm {
+        fires.push(ms(1 + i as u64));
+    }
+    let warm_until = ms(warm as u64 + drain_ms);
+    let meas_start = warm as u64 + drain_ms + 1;
+    for i in 0..meas {
+        fires.push(ms(meas_start + i as u64));
+    }
+    let end = ms(meas_start + meas as u64 + drain_ms);
+    (fires, warm_until, end)
+}
+
+/// One hub EXPRESS router; the source is point-to-point behind it, and all
+/// `n` subscribers share one multi-access segment — a single `send` fans
+/// out to every receiver.
+fn star_fanout(n: usize, warm: usize, meas: usize) -> Measurement {
+    let t0 = Instant::now();
+    let mut t = Topology::new();
+    let hub = t.add_router();
+    let src = t.add_host();
+    t.connect(src, hub, LinkSpec::default()).unwrap();
+    let mut members = vec![hub];
+    for _ in 0..n {
+        members.push(t.add_host());
+    }
+    t.add_lan(&members, LinkSpec::lan()).unwrap();
+    let chan = Channel::new(t.ip(src), 1).unwrap();
+    let mut sim = Sim::new(t, 7);
+    sim.set_agent(hub, Box::new(EcmpRouter::new(quiet_cfg())));
+    sim.agent_as::<EcmpRouter>(hub)
+        .unwrap()
+        .install_static_route(FibEntry::new(chan, 0, 1 << 1).unwrap());
+    for &s in &members[1..] {
+        sim.set_agent(s, Box::new(AccountingSink::new()));
+    }
+    sim.set_agent(src, Box::new(Blaster { pkt: packets::channel_data(chan, 100, 64) }));
+    let (fires, warm_until, end) = burst_schedule(warm, meas, 5);
+    for at in fires {
+        sim.schedule_timer_at(src, at, 0);
+    }
+    let setup_ms = t0.elapsed().as_secs_f64() * 1e3;
+    measure(
+        sim,
+        &format!("star_fanout_{}", short(n)),
+        "star",
+        n,
+        warm,
+        meas,
+        warm_until,
+        end,
+        setup_ms,
+        "sink.data_rx",
+    )
+}
+
+/// The §5.3 k-ary distribution tree: binary router tree of `depth`, one
+/// accounting sink per leaf, FIB pre-seeded down the whole tree.
+fn kary_scale(depth: usize, warm: usize, meas: usize) -> Measurement {
+    let t0 = Instant::now();
+    let g = topogen::kary_tree(2, depth, LinkSpec::default());
+    let chan = Channel::new(g.topo.ip(g.hosts[0]), 1).unwrap();
+    let subscribers = g.hosts.len() - 1;
+    let routers = g.routers;
+    let hosts = g.hosts;
+    let mut sim = Sim::new(g.topo, 7);
+    for &r in &routers {
+        sim.set_agent(r, Box::new(EcmpRouter::new(quiet_cfg())));
+        let ifaces = sim.topology().iface_count(r) as u32;
+        let mask = ((1u32 << ifaces) - 1) & !1;
+        if mask != 0 {
+            sim.agent_as::<EcmpRouter>(r)
+                .unwrap()
+                .install_static_route(FibEntry::new(chan, 0, mask).unwrap());
+        }
+    }
+    for &h in &hosts[1..] {
+        sim.set_agent(h, Box::new(AccountingSink::new()));
+    }
+    sim.set_agent(hosts[0], Box::new(Blaster { pkt: packets::channel_data(chan, 100, 64) }));
+    // Depth+2 hops at 1 ms each: drain for depth+5 ms between windows.
+    let (fires, warm_until, end) = burst_schedule(warm, meas, depth as u64 + 5);
+    for at in fires {
+        sim.schedule_timer_at(hosts[0], at, 0);
+    }
+    let setup_ms = t0.elapsed().as_secs_f64() * 1e3;
+    measure(
+        sim,
+        &format!("kary_tree_{}", short(subscribers)),
+        "kary_tree(2)",
+        subscribers,
+        warm,
+        meas,
+        warm_until,
+        end,
+        setup_ms,
+        "sink.data_rx",
+    )
+}
+
+/// A mid-size ISP-like random graph where the real join protocol builds the
+/// tree: every host subscribes through RPF'd Counts, then the source
+/// streams. Exercises Dijkstra (+ cache), aggregation, and delivery.
+fn random_protocol(n_routers: usize, extra: usize, n_hosts: usize, meas_packets: usize) -> Measurement {
+    let t0 = Instant::now();
+    let g = topogen::random_connected(n_routers, extra, n_hosts, LinkSpec::default(), 99);
+    let chan = Channel::new(g.topo.ip(g.hosts[0]), 1).unwrap();
+    let subscribers = g.hosts.len() - 1;
+    let routers = g.routers;
+    let hosts = g.hosts;
+    let mut sim = Sim::new(g.topo, 7);
+    for &r in &routers {
+        sim.set_agent(r, Box::new(EcmpRouter::new(RouterConfig::default())));
+    }
+    for &h in &hosts {
+        sim.set_agent(h, Box::new(ExpressHost::new()));
+    }
+    // Staggered joins: one per simulated millisecond.
+    for (i, &h) in hosts[1..].iter().enumerate() {
+        ExpressHost::schedule(
+            &mut sim,
+            h,
+            SimTime(1_000 * (1 + i as u64)),
+            HostAction::Subscribe { channel: chan, key: None },
+        );
+    }
+    // Stream: warm-up burst then measured burst, 10 ms cadence.
+    let join_end = subscribers as u64 + 50;
+    let warm = 10usize;
+    let mut t = join_end;
+    for _ in 0..warm {
+        ExpressHost::schedule(&mut sim, hosts[0], SimTime(t * 1_000), HostAction::SendData { channel: chan, payload_len: 100 });
+        t += 10;
+    }
+    let warm_until = SimTime((t + 40) * 1_000);
+    t += 50;
+    for _ in 0..meas_packets {
+        ExpressHost::schedule(&mut sim, hosts[0], SimTime(t * 1_000), HostAction::SendData { channel: chan, payload_len: 100 });
+        t += 10;
+    }
+    let end = SimTime((t + 40) * 1_000);
+    let setup_ms = t0.elapsed().as_secs_f64() * 1e3;
+    measure(
+        sim,
+        &format!("random_protocol_{}", short(subscribers)),
+        "random_connected",
+        subscribers,
+        warm,
+        meas_packets,
+        warm_until,
+        end,
+        setup_ms,
+        "host.data_rx",
+    )
+}
+
+fn short(n: usize) -> String {
+    if n >= 1_000_000 && n.is_multiple_of(1_000_000) {
+        format!("{}m", n / 1_000_000)
+    } else if n >= 1_000 {
+        format!("{}k", n / 1_000)
+    } else {
+        format!("{n}")
+    }
+}
+
+// ---------------------------------------------------------------- output
+
+const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/bench_scale_baseline.json");
+
+fn scenario_json(m: &Measurement, speedup: Option<f64>) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "    {{\n      \"name\": \"{}\",\n      \"topology\": \"{}\",\n      \"nodes\": {},\n      \"links\": {},\n      \"subscribers\": {},\n      \"warmup_packets\": {},\n      \"measured_packets\": {},\n      \"setup_ms\": {:.1},\n      \"events\": {},\n      \"sim_ms\": {:.1},\n      \"wall_ms\": {:.1},\n      \"events_per_sec\": {:.0},\n      \"wall_ms_per_sim_sec\": {:.1},\n      \"peak_queue_depth\": {},\n      \"allocs\": {},\n      \"allocs_per_event\": {:.3},\n      \"data_fwd\": {},\n      \"allocs_per_fwd\": {:.3},\n      \"delivered\": {},\n      \"dijkstra_computes\": {},\n      \"dijkstra_queries\": {}",
+        m.name,
+        m.topology,
+        m.nodes,
+        m.links,
+        m.subscribers,
+        m.warmup_packets,
+        m.measured_packets,
+        m.setup_ms,
+        m.events,
+        m.sim_ms,
+        m.wall_ms,
+        m.events_per_sec,
+        m.wall_ms_per_sim_sec,
+        m.peak_queue_depth,
+        m.allocs,
+        m.allocs_per_event,
+        m.data_fwd,
+        m.allocs_per_fwd,
+        m.delivered,
+        m.dijkstra_computes,
+        m.dijkstra_queries
+    );
+    if let Some(x) = speedup {
+        let _ = write!(s, ",\n      \"speedup_vs_baseline\": {x:.2}");
+    }
+    s.push_str("\n    }");
+    s
+}
+
+/// Minimal extraction of `(name, subscribers, events_per_sec)` triples from
+/// a previously written baseline file (our own fixed-format JSON).
+fn parse_baseline(text: &str) -> Vec<(String, usize, f64)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    let mut subs: Option<usize> = None;
+    for line in text.lines() {
+        let l = line.trim().trim_end_matches(',');
+        if let Some(v) = l.strip_prefix("\"name\": \"") {
+            name = Some(v.trim_end_matches('"').to_string());
+        } else if let Some(v) = l.strip_prefix("\"subscribers\": ") {
+            subs = v.parse().ok();
+        } else if let Some(v) = l.strip_prefix("\"events_per_sec\": ") {
+            if let (Some(n), Some(s), Ok(e)) = (name.take(), subs.take(), v.parse::<f64>()) {
+                out.push((n, s, e));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let rebaseline = args.iter().any(|a| a == "--rebaseline");
+    if let Some(bad) = args.iter().find(|a| *a != "--quick" && *a != "--rebaseline") {
+        eprintln!("unknown flag {bad}; usage: bench_scale [--quick] [--rebaseline]");
+        std::process::exit(2);
+    }
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!("bench_scale ({mode} mode)");
+
+    let scenarios: Vec<Measurement> = if quick {
+        vec![
+            star_fanout(10_000, 2, 5),
+            kary_scale(10, 2, 5),
+            random_protocol(100, 40, 200, 30),
+        ]
+    } else {
+        vec![
+            star_fanout(100_000, 5, 20),
+            kary_scale(14, 2, 10),
+            kary_scale(20, 2, 5),
+            random_protocol(400, 150, 1_000, 100),
+        ]
+    };
+
+    let baseline = if rebaseline {
+        Vec::new()
+    } else {
+        std::fs::read_to_string(BASELINE_PATH)
+            .map(|t| parse_baseline(&t))
+            .unwrap_or_default()
+    };
+    let speedup_of = |m: &Measurement| -> Option<f64> {
+        baseline
+            .iter()
+            .find(|(n, s, _)| *n == m.name && *s == m.subscribers)
+            .map(|(_, _, base)| m.events_per_sec / base)
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_scale/v1\",\n");
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, m) in scenarios.iter().enumerate() {
+        json.push_str(&scenario_json(m, speedup_of(m)));
+        json.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]");
+    if let Some(fan) = scenarios.iter().find(|m| m.topology == "star") {
+        if let Some(x) = speedup_of(fan) {
+            let _ = write!(json, ",\n  \"fanout_speedup_vs_baseline\": {x:.2}");
+        }
+    }
+    json.push_str("\n}\n");
+
+    let path = if rebaseline { BASELINE_PATH } else { OUT_PATH };
+    std::fs::write(path, &json).expect("write benchmark output");
+    eprintln!("wrote {path}");
+}

@@ -30,9 +30,9 @@ use crate::packets::{self, Classified, EcmpMode};
 use crate::proactive::ErrorToleranceCurve;
 use express_wire::addr::{Channel, Ipv4Addr};
 use express_wire::ecmp::{ChannelKey, Count, CountId, CountQuery, CountResponse, EcmpMessage, ResponseStatus};
-use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::engine::{Agent, Ctx, Payload, Reliability, Tx};
 use netsim::id::{IfaceId, NodeId};
-use netsim::stats::TrafficClass;
+use netsim::stats::{CounterId, TrafficClass};
 use netsim::time::{SimDuration, SimTime};
 use netsim::Sim;
 use std::any::Any;
@@ -212,6 +212,9 @@ pub struct ExpressHost {
     pub events: Vec<HostEvent>,
     /// Local channel allocation database (created lazily with the host IP).
     allocator: Option<ChannelAllocator>,
+    /// Interned handle for the per-delivery counter (registered in
+    /// `on_start`, bumped by array index on every received data packet).
+    hot_data_rx: Option<CounterId>,
 }
 
 /// Action tokens live above this bound; below are internal timers.
@@ -238,6 +241,7 @@ impl ExpressHost {
             query_gen: 0,
             events: Vec::new(),
             allocator: None,
+            hot_data_rx: None,
         }
     }
 
@@ -699,7 +703,11 @@ pub fn send_subscription(ctx: &mut Ctx<'_>, channel: Channel, key: Option<Channe
 }
 
 impl Agent for ExpressHost {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], _class: TrafficClass) {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.hot_data_rx = Some(ctx.counter("host.data_rx"));
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, _class: TrafficClass) {
         let me = ctx.my_ip();
         match packets::classify(bytes, me) {
             Ok(Classified::ChannelData { channel, header })
@@ -710,7 +718,10 @@ impl Agent for ExpressHost {
                         channel,
                         payload_len: header.payload_len,
                     });
-                    ctx.count("host.data_rx", 1);
+                    match self.hot_data_rx {
+                        Some(id) => ctx.count_id(id, 1),
+                        None => ctx.count("host.data_rx", 1),
+                    }
                     // End-to-end delivery latency: age of the causal chain
                     // this frame belongs to (source send → here).
                     let age = ctx.packet_age();

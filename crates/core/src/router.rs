@@ -37,9 +37,9 @@ use express_wire::ecmp::{
 };
 use express_wire::fib::FibEntry;
 use express_wire::ipv4::{self, Ipv4Repr};
-use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::engine::{Agent, Ctx, Payload, Reliability, Tx};
 use netsim::id::IfaceId;
-use netsim::stats::TrafficClass;
+use netsim::stats::{CounterId, TrafficClass};
 use netsim::time::{SimDuration, SimTime};
 use netsim::transport::RttEstimator;
 use netsim::NodeKind;
@@ -269,6 +269,16 @@ pub struct EcmpRouter {
     pub local_results: Vec<(SimTime, Channel, CountId, u64)>,
     /// Experiment counters.
     pub counters: RouterCounters,
+    /// Interned handles for the per-packet counters, registered in
+    /// `on_start` so the forwarding fast path bumps by array index.
+    hot: Option<HotCounters>,
+}
+
+/// Pre-registered [`CounterId`]s for the counters on the data fast path.
+#[derive(Debug, Clone, Copy)]
+struct HotCounters {
+    data_fwd: CounterId,
+    subcast_fwd: CounterId,
 }
 
 impl EcmpRouter {
@@ -288,12 +298,24 @@ impl EcmpRouter {
             probe_sent: HashMap::new(),
             local_results: Vec::new(),
             counters: RouterCounters::default(),
+            hot: None,
         }
     }
 
     /// Read-only access to the FIB (memory accounting, experiments).
     pub fn fib(&self) -> &Fib {
         &self.fib
+    }
+
+    /// Install a forwarding entry directly, bypassing the join protocol —
+    /// the administrative "static route" hook scale harnesses use to stand
+    /// up a multi-million-node distribution tree without running one
+    /// Count exchange per router (the §3.4 fast path is exercised either
+    /// way; only tree *construction* is short-circuited). Entries installed
+    /// this way carry no channel soft state: they never expire, re-home, or
+    /// propagate counts, exactly like a manually configured route.
+    pub fn install_static_route(&mut self, entry: FibEntry) {
+        self.fib.install(entry);
     }
 
     /// Number of channels with protocol state.
@@ -422,7 +444,10 @@ impl EcmpRouter {
             EcmpMessage::Count(ref c) => {
                 self.counters.counts_tx += 1;
                 ctx.count("ecmp.count_tx", 1);
-                ctx.count_labeled("ecmp.count_msgs", &c.channel, 1);
+                // Interned per-(base, channel) handle: no per-message key
+                // formatting (the composed key is identical to what
+                // count_labeled built, so OBSERVABILITY.md names hold).
+                ctx.count_channel("ecmp.count_msgs", c.channel, 1);
             }
             EcmpMessage::CountQuery(_) => {
                 self.counters.queries_tx += 1;
@@ -1143,14 +1168,20 @@ impl EcmpRouter {
                     ctx.count("express.ttl_drop", 1);
                     return;
                 }
+                // One TTL patch per hop; every out-interface (and every
+                // receiver behind each) shares the patched buffer.
                 let out = patch_ttl(bytes, header.ttl - 1);
-                for i in 0..32u8 {
-                    if mask & (1 << i) != 0 {
-                        ctx.send(IfaceId(i), &out, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
-                    }
+                let mut m = mask;
+                while m != 0 {
+                    let i = m.trailing_zeros() as u8;
+                    m &= m - 1;
+                    ctx.send_shared(IfaceId(i), out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
                 }
                 self.counters.data_forwarded += 1;
-                ctx.count("express.data_fwd", 1);
+                match self.hot {
+                    Some(h) => ctx.count_id(h.data_fwd, 1),
+                    None => ctx.count("express.data_fwd", 1),
+                }
             }
             Forward::NoEntry => {
                 self.counters.data_no_entry += 1;
@@ -1187,15 +1218,18 @@ impl EcmpRouter {
             ctx.count("express.ttl_drop", 1);
             return;
         }
-        let mask = e.oif_mask();
         let out = patch_ttl(&inner, inner_hdr.ttl - 1);
-        for i in 0..32u8 {
-            if mask & (1 << i) != 0 {
-                ctx.send(IfaceId(i), &out, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
-            }
+        let mut m = e.oif_mask();
+        while m != 0 {
+            let i = m.trailing_zeros() as u8;
+            m &= m - 1;
+            ctx.send_shared(IfaceId(i), out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
         }
         self.counters.data_forwarded += 1;
-        ctx.count("express.subcast_fwd", 1);
+        match self.hot {
+            Some(h) => ctx.count_id(h.subcast_fwd, 1),
+            None => ctx.count("express.subcast_fwd", 1),
+        }
     }
 
     /// Plain unicast forwarding (the substrate: relays, subcast transit,
@@ -1211,7 +1245,7 @@ impl EcmpRouter {
         };
         let out = patch_ttl(bytes, header.ttl - 1);
         let next = hop.next;
-        ctx.send(hop.iface, &out, class, Reliability::Datagram, Tx::To(next));
+        ctx.send_shared(hop.iface, out, class, Reliability::Datagram, Tx::To(next));
     }
 
     /// UDP-mode expiry sweep + periodic general query on one interface.
@@ -1408,9 +1442,12 @@ impl EcmpRouter {
     }
 }
 
-/// Rewrite the TTL of a datagram (recomputing the header checksum).
-fn patch_ttl(bytes: &[u8], new_ttl: u8) -> Vec<u8> {
-    let mut out = bytes.to_vec();
+/// Rewrite the TTL of a datagram (recomputing the header checksum),
+/// producing a shared buffer so one patch serves every out-interface of the
+/// hop via [`Ctx::send_shared`] — the forwarding path's only allocation.
+fn patch_ttl(bytes: &[u8], new_ttl: u8) -> Payload {
+    let mut arc: Payload = Payload::from(bytes);
+    let out = Payload::get_mut(&mut arc).expect("freshly built, uniquely owned");
     if out.len() >= ipv4::HEADER_LEN {
         out[8] = new_ttl;
         out[10] = 0;
@@ -1418,11 +1455,17 @@ fn patch_ttl(bytes: &[u8], new_ttl: u8) -> Vec<u8> {
         let ck = express_wire::checksum::checksum(&out[..ipv4::HEADER_LEN]);
         out[10..12].copy_from_slice(&ck.to_be_bytes());
     }
-    out
+    arc
 }
 
 impl Agent for EcmpRouter {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Intern the per-packet counters once; the forwarding fast path
+        // bumps them by handle (registration alone surfaces nothing).
+        self.hot = Some(HotCounters {
+            data_fwd: ctx.counter("express.data_fwd"),
+            subcast_fwd: ctx.counter("express.subcast_fwd"),
+        });
         // Arm the periodic UDP-mode refresh on every multi-access interface.
         for i in 0..ctx.iface_count() {
             let iface = IfaceId(i as u8);
@@ -1455,7 +1498,7 @@ impl Agent for EcmpRouter {
         self.flush_tx(ctx);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], class: TrafficClass) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, class: TrafficClass) {
         let me = ctx.my_ip();
         match packets::classify(bytes, me) {
             Ok(Classified::ChannelData { channel, header }) => {

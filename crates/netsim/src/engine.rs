@@ -24,12 +24,12 @@
 use crate::id::{IfaceId, LinkId, NodeId};
 use crate::metrics::{Metrics, MetricsConfig};
 use crate::routing::{NextHop, Routing};
-use crate::stats::{Stats, TrafficClass};
+use crate::stats::{CounterId, Stats, TrafficClass};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeKind, Topology};
 use crate::trace::{DropReason, PacketId, ProtoEvent, TraceBuffer, TraceConfig, TraceKind, TraceLevel};
 use std::borrow::Cow;
-use express_wire::addr::Ipv4Addr;
+use express_wire::addr::{Channel, Ipv4Addr};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::any::Any;
@@ -39,6 +39,13 @@ use std::sync::Arc;
 /// An opaque timer cookie chosen by the agent; returned verbatim in
 /// [`Agent::on_timer`]. Agents encode what the timer means in the value.
 pub type TimerToken = u64;
+
+/// A frame's octets, reference-counted so one buffer is shared by every
+/// receiver on a link — and, via [`Ctx::send_shared`], by every outgoing
+/// interface of a forwarding hop. `&Payload` deref-coerces to `&[u8]`, so
+/// parsing code is unaffected; forwarding code clones the handle (a
+/// refcount bump) instead of the bytes.
+pub type Payload = Arc<[u8]>;
 
 /// Delivery reliability class for a transmitted frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,8 +95,10 @@ pub trait Agent {
     /// Called once when the simulation starts, in node-id order.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
-    /// A frame arrived on `iface`.
-    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _iface: IfaceId, _bytes: &[u8], _class: TrafficClass) {}
+    /// A frame arrived on `iface`. The shared buffer handle is passed so
+    /// pure forwarding can re-transmit via [`Ctx::send_shared`] without
+    /// copying; `&Payload` coerces to `&[u8]` wherever octets are parsed.
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _iface: IfaceId, _bytes: &Payload, _class: TrafficClass) {}
 
     /// A timer set by this agent fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: TimerToken) {}
@@ -128,7 +137,7 @@ enum EventKind {
     Arrival {
         node: NodeId,
         iface: IfaceId,
-        bytes: Arc<[u8]>,
+        bytes: Payload,
         class: TrafficClass,
         /// The frame's id (one per `Ctx::send`; LAN copies share it).
         id: PacketId,
@@ -215,6 +224,9 @@ struct World {
     seq: u64,
     queue: BinaryHeap<Event>,
     events_processed: u64,
+    /// High-water mark of the event queue (capacity planning for
+    /// large-scale runs; reported by the scale benchmarks).
+    peak_queue_depth: usize,
     /// Per-node "process is down" flag (router crash); arrivals and timers
     /// for a down node are discarded.
     node_down: Vec<bool>,
@@ -238,6 +250,9 @@ impl World {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Event { at, seq, kind });
+        if self.queue.len() > self.peak_queue_depth {
+            self.peak_queue_depth = self.queue.len();
+        }
     }
 
     /// Record a trace event if tracing is enabled (filters applied inside).
@@ -269,6 +284,63 @@ impl World {
                     },
                 },
             );
+        }
+    }
+
+    /// Bump a pre-registered counter by handle — the per-packet fast path:
+    /// one array index when neither metrics nor tracing is on. The mirrors
+    /// resolve the interned name only when they are enabled.
+    fn count_id(&mut self, node: NodeId, id: CounterId, delta: u64) {
+        self.stats.count_id(id, delta);
+        if self.metrics.is_some() || self.trace.is_some() {
+            let name = self.stats.name_of(id).clone();
+            if let Some(m) = &mut self.metrics {
+                m.on_count(self.now, name.as_ref(), delta);
+            }
+            if let Some(t) = &mut self.trace {
+                t.push(
+                    self.now,
+                    TraceKind::Proto {
+                        node,
+                        event: ProtoEvent {
+                            name,
+                            channel: None,
+                            value: Some(delta),
+                            detail: None,
+                        },
+                    },
+                );
+            }
+        }
+    }
+
+    /// Bump the per-channel labeled counter `base{chan=channel}` through
+    /// the interned `(base, channel)` handle: no formatting on the hot
+    /// path. Mirrors keep the pre-interning shapes — the metrics series is
+    /// keyed by the full composed name, the trace event carries `base` as
+    /// the name and the channel separately (so channel filters apply).
+    fn count_channel(&mut self, node: NodeId, base: &'static str, channel: Channel, delta: u64) {
+        let id = self.stats.channel_counter(base, channel);
+        self.stats.count_id(id, delta);
+        if self.metrics.is_some() || self.trace.is_some() {
+            if let Some(m) = &mut self.metrics {
+                let full = self.stats.name_of(id).clone();
+                m.on_count(self.now, full.as_ref(), delta);
+            }
+            if let Some(t) = &mut self.trace {
+                t.push(
+                    self.now,
+                    TraceKind::Proto {
+                        node,
+                        event: ProtoEvent {
+                            name: Cow::Borrowed(base),
+                            channel: Some(channel.to_string()),
+                            value: Some(delta),
+                            detail: None,
+                        },
+                    },
+                );
+            }
         }
     }
 
@@ -354,6 +426,44 @@ impl<'a> Ctx<'a> {
         self.world.count_labeled(node, base, label, delta);
     }
 
+    /// Intern `key` and return its [`CounterId`] handle for use with
+    /// [`count_id`](Self::count_id). Register hot counters once (typically
+    /// in [`Agent::on_start`]); registration alone does not surface the key
+    /// in [`Stats::named_counters`].
+    pub fn counter(&mut self, key: &'static str) -> CounterId {
+        self.world.stats.counter(key)
+    }
+
+    /// Bump a pre-registered counter — the per-packet fast path: an array
+    /// index instead of a map probe, with the same mirroring to metrics and
+    /// trace as [`count`](Self::count) when those are enabled.
+    #[inline]
+    pub fn count_id(&mut self, id: CounterId, delta: u64) {
+        let node = self.node;
+        self.world.count_id(node, id, delta);
+    }
+
+    /// Bump the per-channel labeled counter `base{chan=channel}` — the fast
+    /// path behind [`count_labeled`](Self::count_labeled) for the common
+    /// case where the label *is* a [`Channel`]: the composed key is
+    /// formatted once per distinct `(base, channel)` pair for the run, and
+    /// every later bump is a hash probe on the pair (no `Display` work).
+    pub fn count_channel(&mut self, base: &'static str, channel: Channel, delta: u64) {
+        let node = self.node;
+        self.world.count_channel(node, base, channel, delta);
+    }
+
+    /// Pre-register the per-channel counter `base{chan=channel}` and return
+    /// its [`CounterId`] for later [`count_id`](Self::count_id) bumps. This
+    /// skips even the hash probe that [`count_channel`](Self::count_channel)
+    /// pays per call — agents handling one channel on a hot path should
+    /// resolve the id once and bump by id. Note that id-based bumps trace
+    /// with the composed key as the event name and no separate `channel`
+    /// field; use `count_channel` where the structured trace shape matters.
+    pub fn channel_counter(&mut self, base: &'static str, channel: Channel) -> CounterId {
+        self.world.stats.channel_counter(base, channel)
+    }
+
     /// Emit a structured protocol trace event. Zero-cost when tracing is
     /// disabled: `build` runs only if the trace is on and capturing
     /// protocol events. Typical use:
@@ -436,8 +546,19 @@ impl<'a> Ctx<'a> {
 
     /// Transmit `bytes` out `iface`. Returns `true` if the link was up and
     /// the frame entered the wire (it may still be lost per-receiver when
-    /// `Datagram`).
+    /// `Datagram`). Copies `bytes` into one shared buffer; when the frame
+    /// is already in a shared buffer (a forwarded arrival), use
+    /// [`send_shared`](Self::send_shared) to skip the copy.
     pub fn send(&mut self, iface: IfaceId, bytes: &[u8], class: TrafficClass, rel: Reliability, tx: Tx) -> bool {
+        self.send_shared(iface, Arc::from(bytes), class, rel, tx)
+    }
+
+    /// [`send`](Self::send) without the copy: transmit an already-shared
+    /// buffer out `iface`. Every receiver's arrival event — across all
+    /// interfaces the same handle is sent on — references the one buffer,
+    /// so a forwarding hop costs at most one allocation (its own header
+    /// patch) regardless of fan-out.
+    pub fn send_shared(&mut self, iface: IfaceId, payload: Payload, class: TrafficClass, rel: Reliability, tx: Tx) -> bool {
         let node = self.node;
         let Ok(link) = self.world.topo.link_of(node, iface) else {
             return false;
@@ -449,10 +570,10 @@ impl<'a> Ctx<'a> {
         let ser = if spec.bandwidth_bps == u64::MAX {
             SimDuration::ZERO
         } else {
-            SimDuration::from_micros((bytes.len() as u64 * 8).saturating_mul(1_000_000) / spec.bandwidth_bps)
+            SimDuration::from_micros((payload.len() as u64 * 8).saturating_mul(1_000_000) / spec.bandwidth_bps)
         };
         let arrive = self.world.now + spec.latency + ser;
-        self.world.stats.record_tx(link, bytes.len(), class);
+        self.world.stats.record_tx(link, payload.len(), class);
         if let Some(m) = &mut self.world.metrics {
             // Aggregate per-class transmission series, so experiments get
             // data/control timelines without sampling Stats in a loop.
@@ -478,26 +599,24 @@ impl<'a> Ctx<'a> {
             id,
             cause,
             root,
-            bytes: bytes.len() as u32,
+            bytes: payload.len() as u32,
             class,
         });
-        let payload: Arc<[u8]> = Arc::from(bytes);
-        let endpoints: Vec<(NodeId, IfaceId)> = self
-            .world
-            .topo
-            .link_endpoints(link)
-            .iter()
-            .copied()
-            .filter(|&(n, _)| {
-                n != node
-                    && match tx {
-                        Tx::AllOnLink => true,
-                        Tx::To(t) => n == t,
-                    }
-            })
-            .collect();
         let loss = self.world.loss_override.get(&link).copied().unwrap_or(spec.loss);
-        for (n, i) in endpoints {
+        // Indexed endpoint walk: each `link_endpoint` call re-borrows the
+        // topology for one copy, so no endpoint list is materialized per
+        // send (the filter order matches the endpoint slice order).
+        let n_endpoints = self.world.topo.link_endpoint_count(link);
+        for e in 0..n_endpoints {
+            let (n, i) = self.world.topo.link_endpoint(link, e);
+            if n == node {
+                continue;
+            }
+            if let Tx::To(t) = tx {
+                if n != t {
+                    continue;
+                }
+            }
             let lost = rel == Reliability::Datagram
                 && loss > 0.0
                 && self.world.rng.random::<f64>() < loss;
@@ -577,6 +696,7 @@ impl Sim {
                 seq: 0,
                 queue: BinaryHeap::new(),
                 events_processed: 0,
+                peak_queue_depth: 0,
                 node_down: vec![false; n],
                 node_epoch: vec![0; n],
                 loss_override: HashMap::new(),
@@ -672,9 +792,20 @@ impl Sim {
         (&self.world.topo, &mut self.world.routing)
     }
 
+    /// Unicast routing state, read-only (cache statistics).
+    pub fn routing(&self) -> &Routing {
+        &self.world.routing
+    }
+
     /// Total events dispatched so far.
     pub fn events_processed(&self) -> u64 {
         self.world.events_processed
+    }
+
+    /// High-water mark of the pending-event queue over the whole run — the
+    /// memory-pressure figure the scale benchmarks report.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.world.peak_queue_depth
     }
 
     /// Schedule a link up/down transition at absolute time `at`.
@@ -822,7 +953,14 @@ impl Sim {
                     return true;
                 }
                 self.world.topo.set_link_up(link, up);
-                self.world.routing.invalidate();
+                if up {
+                    // A new link can shorten any path: full flush.
+                    self.world.routing.invalidate();
+                } else {
+                    // A removed link only perturbs origins whose shortest-path
+                    // tree actually crossed it.
+                    self.world.routing.invalidate_link(link);
+                }
                 let endpoints: Vec<(NodeId, IfaceId)> =
                     self.world.topo.link_endpoints(link).to_vec();
                 for (n, i) in endpoints {
@@ -973,7 +1111,7 @@ mod tests {
     }
 
     impl Agent for Echo {
-        fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], class: TrafficClass) {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, class: TrafficClass) {
             self.seen.push((ctx.now(), bytes.to_vec()));
             if self.reply {
                 ctx.send(iface, bytes, class, Reliability::Reliable, Tx::AllOnLink);
@@ -995,7 +1133,7 @@ mod tests {
             let p = self.payload.clone();
             ctx.send(IfaceId(0), &p, TrafficClass::Data, Reliability::Reliable, Tx::AllOnLink);
         }
-        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _iface: IfaceId, _bytes: &[u8], _class: TrafficClass) {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _iface: IfaceId, _bytes: &Payload, _class: TrafficClass) {
             self.replies += 1;
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -1195,7 +1333,7 @@ mod tests {
             got: u32,
         }
         impl Agent for Watcher {
-            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _b: &[u8], _c: TrafficClass) {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _b: &Payload, _c: TrafficClass) {
                 self.got += 1;
             }
             fn on_link_change(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, up: bool) {

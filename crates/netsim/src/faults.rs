@@ -201,7 +201,7 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{Agent, Ctx, Reliability, TopologyChange, Tx};
+    use crate::engine::{Agent, Ctx, Payload, Reliability, TopologyChange, Tx};
     use crate::id::IfaceId;
     use crate::stats::TrafficClass;
     use crate::topology::{LinkSpec, Topology};
@@ -221,7 +221,7 @@ mod tests {
         fn on_start(&mut self, _ctx: &mut Ctx<'_>) {
             self.started += 1;
         }
-        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _b: &[u8], _c: TrafficClass) {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _b: &Payload, _c: TrafficClass) {
             self.packets += 1;
         }
         fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: u64) {

@@ -45,7 +45,8 @@ pub mod topology;
 pub mod trace;
 pub mod transport;
 
-pub use engine::{Agent, Ctx, Sim, TimerToken, TopologyChange};
+pub use engine::{Agent, Ctx, Payload, Sim, TimerToken, TopologyChange};
+pub use stats::CounterId;
 pub use faults::{FaultEvent, FaultPlan};
 pub use id::{IfaceId, LinkId, NodeId};
 pub use metrics::{CounterSnapshot, Histogram, Metrics, MetricsConfig};

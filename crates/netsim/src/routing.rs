@@ -11,14 +11,18 @@
 //!
 //! Shortest paths are computed with Dijkstra per origin node, minimizing the
 //! sum of link metrics with deterministic tie-breaking (lowest neighbor id
-//! wins), and cached until [`Routing::invalidate`] (called by the engine on
-//! every link up/down transition).
+//! wins). Tables are stored in a dense `Vec` indexed by origin and cached
+//! until invalidated. Invalidation is **incremental** where that is provably
+//! safe: a link going *down* flushes only the origins whose shortest-path
+//! tree crossed that link ([`Routing::invalidate_link`] — removing a link no
+//! tree edge used cannot change any distance, heap pop order, or winning
+//! relaxation), while a link coming up, a crash, or a restart falls back to
+//! the full flush ([`Routing::invalidate`]).
 
-use crate::id::{IfaceId, NodeId};
+use crate::id::{IfaceId, LinkId, NodeId};
 use crate::topology::Topology;
 use express_wire::addr::Ipv4Addr;
-use std::collections::hash_map::Entry;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// A next-hop decision: leave through `iface` toward neighbor `next`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,13 +35,36 @@ pub struct NextHop {
     pub metric: u32,
 }
 
+/// One origin's cached shortest-path table plus the set of links its tree
+/// uses (for incremental invalidation).
+#[derive(Debug)]
+struct Table {
+    /// `hops[dest] = NextHop` (None if unreachable or dest == origin).
+    hops: Vec<Option<NextHop>>,
+    /// Bitset over link ids: the links whose relaxation finally won for
+    /// some destination — the shortest-path tree's edges.
+    used_links: Vec<u64>,
+}
+
+impl Table {
+    fn uses(&self, link: LinkId) -> bool {
+        let idx = link.index();
+        self.used_links
+            .get(idx / 64)
+            .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+    }
+}
+
 /// Cached shortest-path routing state.
 #[derive(Debug, Default)]
 pub struct Routing {
-    /// Per-origin table: `tables[origin][dest] = NextHop` (None if
-    /// unreachable or dest == origin).
-    tables: HashMap<NodeId, Vec<Option<NextHop>>>,
+    /// Per-origin tables, indexed by origin node id (`None` = not cached).
+    tables: Vec<Option<Table>>,
     generation: u64,
+    /// Total full Dijkstra computations performed (cache misses).
+    computes: u64,
+    /// Total next-hop table lookups served (cache hits + misses).
+    queries: u64,
 }
 
 impl Routing {
@@ -46,29 +73,67 @@ impl Routing {
         Self::default()
     }
 
-    /// Drop all cached tables (topology changed). Bumps the generation
-    /// counter that protocols can watch to detect recomputation.
+    /// Drop all cached tables (topology changed in a way that can create
+    /// new shortest paths). Bumps the generation counter that protocols can
+    /// watch to detect recomputation.
     pub fn invalidate(&mut self) {
-        self.tables.clear();
+        for t in &mut self.tables {
+            *t = None;
+        }
         self.generation += 1;
     }
 
-    /// Monotone counter incremented by every [`invalidate`](Self::invalidate).
+    /// Incremental invalidation for a link that went **down**: drop only
+    /// the tables whose shortest-path tree used `link`. Sound because
+    /// removing a link that carried no winning relaxation leaves every
+    /// final distance, every deterministic `(dist, node)` heap pop, and
+    /// every first-winner relaxation of a fresh Dijkstra run unchanged —
+    /// the cached table is byte-for-byte what recomputation would produce.
+    /// Still bumps the generation (the topology did change).
+    pub fn invalidate_link(&mut self, link: LinkId) {
+        for t in &mut self.tables {
+            if t.as_ref().is_some_and(|t| t.uses(link)) {
+                *t = None;
+            }
+        }
+        self.generation += 1;
+    }
+
+    /// Monotone counter incremented by every [`invalidate`](Self::invalidate)
+    /// and [`invalidate_link`](Self::invalidate_link).
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
-    fn table_for<'a>(&'a mut self, topo: &Topology, origin: NodeId) -> &'a [Option<NextHop>] {
-        match self.tables.entry(origin) {
-            Entry::Occupied(e) => e.into_mut(),
-            Entry::Vacant(e) => e.insert(dijkstra(topo, origin)),
+    /// Total full Dijkstra runs so far — one per (origin, invalidation)
+    /// cache miss. Together with [`query_count`](Self::query_count) this
+    /// yields the cache reuse rate the scale benchmarks report.
+    pub fn compute_count(&self) -> u64 {
+        self.computes
+    }
+
+    /// Total next-hop lookups served (hits and misses).
+    pub fn query_count(&self) -> u64 {
+        self.queries
+    }
+
+    fn table_for<'a>(&'a mut self, topo: &Topology, origin: NodeId) -> &'a Table {
+        self.queries += 1;
+        if self.tables.len() < topo.node_count() {
+            self.tables.resize_with(topo.node_count(), || None);
         }
+        let slot = &mut self.tables[origin.index()];
+        if slot.is_none() {
+            self.computes += 1;
+            *slot = Some(dijkstra(topo, origin));
+        }
+        slot.as_ref().expect("just filled")
     }
 
     /// The next hop from `from` toward node `to`, or `None` if unreachable
     /// or `from == to`.
     pub fn next_hop(&mut self, topo: &Topology, from: NodeId, to: NodeId) -> Option<NextHop> {
-        self.table_for(topo, from).get(to.index()).copied().flatten()
+        self.table_for(topo, from).hops.get(to.index()).copied().flatten()
     }
 
     /// The next hop from `from` toward the node owning unicast address
@@ -120,11 +185,14 @@ impl Routing {
 }
 
 /// Single-origin Dijkstra over up links, producing the first-hop decision
-/// for every destination.
-fn dijkstra(topo: &Topology, origin: NodeId) -> Vec<Option<NextHop>> {
+/// for every destination plus the set of links the resulting tree uses.
+fn dijkstra(topo: &Topology, origin: NodeId) -> Table {
     let n = topo.node_count();
     let mut dist: Vec<u32> = vec![u32::MAX; n];
     let mut first_hop: Vec<Option<NextHop>> = vec![None; n];
+    // Link of the last (winning) relaxation per destination — the tree edge
+    // leading into it.
+    let mut pred_link: Vec<Option<LinkId>> = vec![None; n];
     dist[origin.index()] = 0;
 
     // Max-heap of Reverse((dist, node_id)) → deterministic pop order.
@@ -143,7 +211,12 @@ fn dijkstra(topo: &Topology, origin: NodeId) -> Vec<Option<NextHop>> {
                 continue;
             }
             let metric = topo.link_spec(link).metric;
-            for (v, _) in topo.neighbors_on(u_id, iface) {
+            // Walk the endpoint slice directly (same order as the old
+            // neighbors_on call, minus its per-iface allocation).
+            for &(v, _) in topo.link_endpoints(link) {
+                if v == u_id {
+                    continue;
+                }
                 let nd = d.saturating_add(metric);
                 // Strict improvement only. Ties are resolved by the
                 // deterministic heap pop order (distance, then node id), so
@@ -151,6 +224,7 @@ fn dijkstra(topo: &Topology, origin: NodeId) -> Vec<Option<NextHop>> {
                 // already-settled node wins — stable across runs.
                 if nd < dist[v.index()] {
                     dist[v.index()] = nd;
+                    pred_link[v.index()] = Some(link);
                     first_hop[v.index()] = if u_id == origin {
                         Some(NextHop {
                             iface,
@@ -165,7 +239,11 @@ fn dijkstra(topo: &Topology, origin: NodeId) -> Vec<Option<NextHop>> {
             }
         }
     }
-    first_hop
+    let mut used_links = vec![0u64; topo.link_count().div_ceil(64)];
+    for link in pred_link.into_iter().flatten() {
+        used_links[link.index() / 64] |= 1u64 << (link.index() % 64);
+    }
+    Table { hops: first_hop, used_links }
 }
 
 #[cfg(test)]
@@ -249,6 +327,95 @@ mod tests {
         // Now a reaches b via c.
         assert_eq!(r.next_hop(&t, a, b).unwrap().next, c);
         assert_eq!(r.generation(), 1);
+    }
+
+    #[test]
+    fn selective_invalidation_flushes_only_affected_origins() {
+        // a - b - c in a line plus a spur d off b, and an expensive a-c
+        // backup link nothing uses while the line is up.
+        let mut t = Topology::new();
+        let a = t.add_router();
+        let b = t.add_router();
+        let c = t.add_router();
+        let d = t.add_router();
+        t.connect(a, b, LinkSpec::default()).unwrap();
+        t.connect(b, c, LinkSpec::default()).unwrap();
+        let l_bd = t.connect(b, d, LinkSpec::default()).unwrap();
+        let l_ac = t.connect(a, c, LinkSpec { metric: 10, ..Default::default() }).unwrap();
+        let mut r = Routing::new();
+        // Warm every origin's table.
+        for &o in &[a, b, c, d] {
+            r.next_hop(&t, o, c);
+        }
+        assert_eq!(r.compute_count(), 4);
+
+        // The unused backup link going down flushes nothing: all four trees
+        // run over the line, none over a-c.
+        t.set_link_up(l_ac, false);
+        r.invalidate_link(l_ac);
+        for &o in &[a, b, c, d] {
+            r.next_hop(&t, o, c);
+        }
+        assert_eq!(r.compute_count(), 4, "no tree used the backup link");
+        assert_eq!(r.generation(), 1);
+
+        // The b-d spur is on every origin's tree (it is the only way to
+        // reach d), so its failure flushes all four tables.
+        t.set_link_up(l_ac, true);
+        r.invalidate(); // restore clean slate after link-up
+        for &o in &[a, b, c, d] {
+            r.next_hop(&t, o, c);
+        }
+        let before = r.compute_count();
+        t.set_link_up(l_bd, false);
+        r.invalidate_link(l_bd);
+        // Only origins whose tree used b-d recompute. All four reach d via
+        // b-d, so all four recompute.
+        for &o in &[a, b, c, d] {
+            r.next_hop(&t, o, c);
+        }
+        assert_eq!(r.compute_count(), before + 4);
+        // And the rerouted world is correct: d now unreachable.
+        assert!(r.next_hop(&t, a, d).is_none());
+    }
+
+    #[test]
+    fn selective_invalidation_matches_full_recompute() {
+        // Random-ish mesh: verify that after a link-down handled by
+        // invalidate_link, every cached or recomputed answer equals a
+        // from-scratch Routing over the same degraded topology.
+        let mut t = Topology::new();
+        let nodes: Vec<NodeId> = (0..8).map(|_| t.add_router()).collect();
+        let mut links = Vec::new();
+        for i in 1..8usize {
+            links.push(t.connect(nodes[i - 1], nodes[i], LinkSpec::default()).unwrap());
+        }
+        links.push(t.connect(nodes[0], nodes[4], LinkSpec::default()).unwrap());
+        links.push(t.connect(nodes[2], nodes[6], LinkSpec { metric: 2, ..Default::default() }).unwrap());
+        links.push(t.connect(nodes[1], nodes[7], LinkSpec { metric: 3, ..Default::default() }).unwrap());
+
+        for &dead in &links {
+            let mut r = Routing::new();
+            // Warm all tables on the full topology.
+            for &o in &nodes {
+                for &to in &nodes {
+                    r.next_hop(&t, o, to);
+                }
+            }
+            t.set_link_up(dead, false);
+            r.invalidate_link(dead);
+            let mut fresh = Routing::new();
+            for &o in &nodes {
+                for &to in &nodes {
+                    assert_eq!(
+                        r.next_hop(&t, o, to),
+                        fresh.next_hop(&t, o, to),
+                        "mismatch from {o:?} to {to:?} after {dead:?} down"
+                    );
+                }
+            }
+            t.set_link_up(dead, true);
+        }
     }
 
     #[test]

@@ -7,15 +7,19 @@
 //! through [`crate::engine::Ctx::count`].
 //!
 //! Counter keys follow the `<proto>.<event>` convention documented in
-//! `docs/OBSERVABILITY.md`. Keys are interned [`Cow`]s: the common case is
-//! a `&'static str` (zero allocation), but labeled counters such as
-//! `ecmp.count_msgs{chan=(10.0.0.5, 232.0.0.1)}` are possible through
-//! [`Stats::count_labeled`], which allocates once per distinct key and
-//! afterwards looks the key up by borrowed `&str`.
+//! `docs/OBSERVABILITY.md`. Counters are **interned**: each distinct key
+//! maps to an integer [`CounterId`] handle backed by a plain `Vec<u64>`
+//! slot, so the per-packet fast path ([`Stats::count_id`]) is an array
+//! index instead of an ordered-map probe. The string API
+//! ([`Stats::count`]) survives as a thin registration wrapper, and labeled
+//! counters such as `ecmp.count_msgs{chan=(10.0.0.5, 232.0.0.1)}` intern
+//! their composed key once per distinct `(base, channel)` pair
+//! ([`Stats::channel_counter`]) — no per-bump formatting.
 
 use crate::id::LinkId;
+use express_wire::addr::Channel;
 use std::borrow::Cow;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Whether a packet is application data or protocol control traffic.
@@ -57,11 +61,39 @@ impl LinkStats {
     }
 }
 
+/// A pre-registered handle to one named counter — bumping through the
+/// handle ([`Stats::count_id`]) is an array index, the per-packet fast
+/// path. Obtain one with [`Stats::counter`] (or
+/// [`crate::engine::Ctx::counter`]) and keep it for the run's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+impl CounterId {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// All measurement state for one simulation run.
 #[derive(Debug, Default)]
 pub struct Stats {
     per_link: Vec<LinkStats>,
-    named: BTreeMap<Cow<'static, str>, u64>,
+    /// Interned counter slots, indexed by [`CounterId`].
+    values: Vec<u64>,
+    /// Whether the slot has ever been bumped (even by zero). Registration
+    /// alone must not surface a counter in [`named_counters`](Self::named_counters):
+    /// a key appears only once some call site has counted with it, exactly
+    /// as under the pre-interning map representation.
+    touched: Vec<bool>,
+    /// Slot names, indexed by [`CounterId`] (static for plain keys, owned
+    /// for labeled ones).
+    names: Vec<Cow<'static, str>>,
+    /// Name → slot. Keyed by the full composed key.
+    by_name: HashMap<Cow<'static, str>, CounterId>,
+    /// `(base, channel)` → slot, so per-channel labeled bumps skip even the
+    /// key formatting. Bases are compared by string content.
+    by_channel: HashMap<(&'static str, Channel), CounterId>,
     /// Reusable key-formatting buffer for [`count_labeled`](Self::count_labeled)
     /// (avoids an allocation per bump once the key is interned).
     scratch: String,
@@ -72,8 +104,7 @@ impl Stats {
     pub fn new(links: usize) -> Self {
         Stats {
             per_link: vec![LinkStats::default(); links],
-            named: BTreeMap::new(),
-            scratch: String::new(),
+            ..Stats::default()
         }
     }
 
@@ -119,48 +150,116 @@ impl Stats {
         self.per_link.iter().filter(|s| s.data_packets > 0).count()
     }
 
+    /// Intern `key`, returning its stable handle. Registering does **not**
+    /// make the counter visible in [`named_counters`](Self::named_counters);
+    /// only bumping does.
+    pub fn counter(&mut self, key: impl Into<Cow<'static, str>>) -> CounterId {
+        let key = key.into();
+        if let Some(&id) = self.by_name.get(key.as_ref()) {
+            return id;
+        }
+        self.insert_slot(key)
+    }
+
+    fn insert_slot(&mut self, key: Cow<'static, str>) -> CounterId {
+        let id = CounterId(u32::try_from(self.values.len()).expect("counter slots exhausted"));
+        self.values.push(0);
+        self.touched.push(false);
+        self.names.push(key.clone());
+        self.by_name.insert(key, id);
+        id
+    }
+
+    /// Intern the per-channel labeled key `base{chan=channel}` — e.g.
+    /// `ecmp.count_msgs{chan=(10.0.0.5, 232.0.0.1)}` — and return its
+    /// handle. The composed key is formatted exactly once per distinct
+    /// `(base, channel)` pair; later calls are a hash probe on the pair.
+    pub fn channel_counter(&mut self, base: &'static str, channel: Channel) -> CounterId {
+        if let Some(&id) = self.by_channel.get(&(base, channel)) {
+            return id;
+        }
+        use std::fmt::Write;
+        self.scratch.clear();
+        let _ = write!(self.scratch, "{base}{{chan={channel}}}");
+        let id = match self.by_name.get(self.scratch.as_str()) {
+            Some(&id) => id,
+            None => {
+                let key = Cow::Owned(self.scratch.clone());
+                self.insert_slot(key)
+            }
+        };
+        self.by_channel.insert((base, channel), id);
+        id
+    }
+
+    /// The interned name behind `id` (the full composed key for labeled
+    /// counters).
+    pub fn name_of(&self, id: CounterId) -> &Cow<'static, str> {
+        &self.names[id.index()]
+    }
+
+    /// Bump a counter through its pre-registered handle — the per-packet
+    /// fast path: one array index, no hashing, no formatting.
+    #[inline]
+    pub fn count_id(&mut self, id: CounterId, delta: u64) {
+        self.values[id.index()] += delta;
+        self.touched[id.index()] = true;
+    }
+
     /// Bump a named counter. Accepts both the classic `&'static str` keys
     /// and owned `String` keys (for labeled counters built elsewhere).
+    /// Interns the key on first use; hot call sites should pre-register
+    /// with [`counter`](Self::counter) and bump via [`count_id`](Self::count_id).
     pub fn count(&mut self, key: impl Into<Cow<'static, str>>, delta: u64) {
-        let key = key.into();
-        match self.named.get_mut(key.as_ref()) {
-            Some(v) => *v += delta,
-            None => {
-                self.named.insert(key, delta);
-            }
-        }
+        let id = self.counter(key);
+        self.count_id(id, delta);
     }
 
     /// Bump a labeled counter `base{chan=label}` — e.g.
     /// `ecmp.count_msgs{chan=(10.0.0.5, 232.0.0.1)}`. The composed key is
     /// interned: the first bump of a distinct key allocates it, every later
     /// bump formats into a reused scratch buffer and looks it up by `&str`.
+    /// When the label is a [`Channel`], prefer
+    /// [`channel_counter`](Self::channel_counter) + [`count_id`](Self::count_id),
+    /// which skips the per-bump formatting entirely.
     pub fn count_labeled(&mut self, base: &str, label: &dyn fmt::Display, delta: u64) {
         use std::fmt::Write;
-        self.scratch.clear();
-        let _ = write!(self.scratch, "{base}{{chan={label}}}");
-        match self.named.get_mut(self.scratch.as_str()) {
-            Some(v) => *v += delta,
-            None => {
-                self.named.insert(Cow::Owned(self.scratch.clone()), delta);
-            }
-        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let _ = write!(scratch, "{base}{{chan={label}}}");
+        let id = match self.by_name.get(scratch.as_str()) {
+            Some(&id) => id,
+            None => self.insert_slot(Cow::Owned(scratch.clone())),
+        };
+        self.scratch = scratch;
+        self.count_id(id, delta);
     }
 
     /// Read a named counter (0 if never bumped).
     pub fn named(&self, key: &str) -> u64 {
-        self.named.get(key).copied().unwrap_or(0)
+        self.by_name.get(key).map_or(0, |id| self.values[id.index()])
     }
 
-    /// All named counters, sorted by name.
+    /// All named counters that have been bumped at least once, sorted by
+    /// name (registered-but-never-bumped slots are hidden).
     pub fn named_counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
-        self.named.iter().map(|(k, &v)| (k.as_ref(), v))
+        let mut out: Vec<(&str, u64)> = self
+            .names
+            .iter()
+            .zip(&self.values)
+            .zip(&self.touched)
+            .filter(|&(_, &t)| t)
+            .map(|((n, &v), _)| (n.as_ref(), v))
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        out.into_iter()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use express_wire::addr::Ipv4Addr;
 
     #[test]
     fn link_accounting() {
@@ -201,5 +300,41 @@ mod tests {
         // Base key untouched by labeled bumps.
         assert_eq!(s.named("ecmp.count_msgs"), 0);
         assert_eq!(s.named_counters().count(), 3);
+    }
+
+    #[test]
+    fn interned_handles_alias_string_keys() {
+        let mut s = Stats::new(0);
+        let id = s.counter("express.data_fwd");
+        // Registration alone leaves the counter invisible.
+        assert_eq!(s.named_counters().count(), 0);
+        s.count_id(id, 4);
+        s.count("express.data_fwd", 1);
+        assert_eq!(s.named("express.data_fwd"), 5);
+        assert_eq!(s.counter("express.data_fwd"), id);
+        assert_eq!(s.name_of(id).as_ref(), "express.data_fwd");
+        // A zero-delta bump still surfaces the key (matches the old map
+        // behavior of `count(key, 0)`).
+        let other = s.counter("ecmp.auth_reject");
+        s.count_id(other, 0);
+        assert_eq!(
+            s.named_counters().collect::<Vec<_>>(),
+            vec![("ecmp.auth_reject", 0), ("express.data_fwd", 5)]
+        );
+    }
+
+    #[test]
+    fn channel_counters_compose_stable_keys() {
+        let mut s = Stats::new(0);
+        let src = Ipv4Addr::new(10, 0, 0, 5);
+        let chan = Channel::new(src, 1).unwrap();
+        let id = s.channel_counter("ecmp.count_msgs", chan);
+        assert_eq!(s.channel_counter("ecmp.count_msgs", chan), id);
+        s.count_id(id, 7);
+        // The composed key matches what count_labeled would have built, so
+        // both routes land on the same slot.
+        s.count_labeled("ecmp.count_msgs", &chan, 1);
+        assert_eq!(s.named(&format!("ecmp.count_msgs{{chan={chan}}}")), 8);
+        assert_eq!(s.named_counters().count(), 1);
     }
 }

@@ -214,6 +214,21 @@ impl Topology {
         &self.links[link.index()].endpoints
     }
 
+    /// Number of attachment points of `link` (2 for point-to-point, the
+    /// member count for a LAN).
+    pub fn link_endpoint_count(&self, link: LinkId) -> usize {
+        self.links[link.index()].endpoints.len()
+    }
+
+    /// The `idx`-th attachment point of `link`, in the same order as
+    /// [`link_endpoints`](Self::link_endpoints). Indexed access lets
+    /// delivery loops walk a link's endpoints without holding a borrow of
+    /// the topology across engine mutations (and without collecting the
+    /// endpoint list per packet).
+    pub fn link_endpoint(&self, link: LinkId, idx: usize) -> (NodeId, IfaceId) {
+        self.links[link.index()].endpoints[idx]
+    }
+
     fn attach(&mut self, node: NodeId, link: LinkId) -> Result<IfaceId, TopoError> {
         let n = self.nodes.get_mut(node.index()).ok_or(TopoError::NoSuchNode(node))?;
         if n.ifaces.len() >= 32 {

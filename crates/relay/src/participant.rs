@@ -13,7 +13,7 @@ use crate::relay_host::RELAY_PROTO;
 use express::host::send_subscription;
 use express_wire::addr::{Channel, Ipv4Addr};
 use express_wire::ipv4::{self, Ipv4Repr};
-use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::engine::{Agent, Ctx, Payload, Reliability, Tx};
 use netsim::id::{IfaceId, NodeId};
 use netsim::stats::TrafficClass;
 use netsim::time::{SimDuration, SimTime};
@@ -251,7 +251,7 @@ impl Participant {
 }
 
 impl Agent for Participant {
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &[u8], _class: TrafficClass) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &Payload, _class: TrafficClass) {
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         let payload = &bytes[ipv4::HEADER_LEN..ipv4::HEADER_LEN + header.payload_len];
         // Relayed channel data?

@@ -14,7 +14,7 @@ use crate::floor::{FloorControl, FloorDecision};
 use crate::proto::{RelayMsg, RelayedHeader};
 use express_wire::addr::{Channel, Ipv4Addr};
 use express_wire::ipv4::{self, Ipv4Repr, Protocol};
-use netsim::engine::{Agent, Ctx, Reliability, Tx};
+use netsim::engine::{Agent, Ctx, Payload, Reliability, Tx};
 use netsim::id::IfaceId;
 use netsim::stats::TrafficClass;
 use netsim::time::SimDuration;
@@ -232,7 +232,7 @@ impl Agent for SessionRelayHost {
         ctx.set_timer(self.heartbeat, 0);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &[u8], _class: TrafficClass) {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &Payload, _class: TrafficClass) {
         let me = ctx.my_ip();
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         if header.dst != me {

@@ -1,0 +1,134 @@
+//! The determinism pin for the data-plane fast path: a mid-size fault-storm
+//! scenario whose same-seed JSONL trace and final `Stats` must stay
+//! **byte-identical** to a committed golden snapshot.
+//!
+//! The zero-copy fan-out, interned-counter and incremental-routing
+//! optimizations all ride on the claim that they do not perturb the event
+//! schedule, the RNG stream, or any observable output. This test makes that
+//! claim falsifiable: the goldens were blessed before the optimizations
+//! landed, so any divergence — one extra RNG draw, one reordered event, one
+//! renamed counter key — fails the suite with a diff.
+//!
+//! Regenerate (only when a change is *intended* to alter observable
+//! behavior) with:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test -p integration-tests --test determinism_golden
+//! ```
+
+use express::host::{ExpressHost, HostAction};
+use express::router::{EcmpRouter, RouterConfig};
+use express_wire::addr::Channel;
+use netsim::faults::FaultPlan;
+use netsim::time::{SimDuration, SimTime};
+use netsim::topogen;
+use netsim::topology::LinkSpec;
+use netsim::{LinkId, Sim, TraceConfig};
+use std::fmt::Write as _;
+
+const TRACE_GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/fault_storm.trace.jsonl");
+const STATS_GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/fault_storm.stats.txt");
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime(ms * 1000)
+}
+
+/// One full fault-storm run: a 30-router random graph with 40 edge hosts,
+/// 16 staggered subscribers, a 20 ms-cadence EXPRESS stream, two link
+/// flaps, a router crash + restart, and a 30% loss burst — every fault
+/// class `FaultPlan` models, all while tracing.
+fn run_storm(seed: u64) -> (String, String) {
+    let g = topogen::random_connected(30, 10, 40, LinkSpec::default(), 77);
+    let mut sim = Sim::new(g.topo.clone(), seed);
+    let cfg = RouterConfig::default();
+    for &r in &g.routers {
+        sim.set_agent(r, Box::new(EcmpRouter::new(cfg)));
+        sim.set_restart_factory(r, Box::new(move || Box::new(EcmpRouter::new(cfg))));
+    }
+    for &h in &g.hosts {
+        sim.set_agent(h, Box::new(ExpressHost::new()));
+    }
+    let chan = Channel::new(g.topo.ip(g.hosts[0]), 1).unwrap();
+    // 16 subscribers joining at 1, 31, 61, … ms (staggered so join control
+    // traffic interleaves with early data).
+    for (i, &h) in g.hosts[1..17].iter().enumerate() {
+        ExpressHost::schedule(
+            &mut sim,
+            h,
+            at_ms(1 + 30 * i as u64),
+            HostAction::Subscribe { channel: chan, key: None },
+        );
+    }
+    // The stream: 100 B payloads every 20 ms through the whole storm.
+    let mut t = 100;
+    while t <= 2_400 {
+        ExpressHost::schedule(&mut sim, g.hosts[0], at_ms(t), HostAction::SendData { channel: chan, payload_len: 100 });
+        t += 20;
+    }
+    // The storm: flaps on two spanning-tree links, a transit-router
+    // crash/restart, and a loss burst on a third link.
+    FaultPlan::new()
+        .link_flap(LinkId(3), at_ms(600), at_ms(900))
+        .link_flap(LinkId(7), at_ms(750), at_ms(1_100))
+        .crash_restart(g.routers[5], at_ms(1_000), at_ms(1_400))
+        .loss_burst(LinkId(11), at_ms(1_800), 0.3, SimDuration::from_millis(200))
+        .apply(&mut sim);
+
+    sim.enable_trace(TraceConfig::default());
+    sim.run_until(at_ms(2_600));
+
+    let trace = sim.take_trace().expect("trace enabled").to_jsonl();
+    let mut stats = String::new();
+    let _ = writeln!(stats, "events_processed {}", sim.events_processed());
+    let _ = writeln!(stats, "peak_queue_depth {}", sim.peak_queue_depth());
+    for (k, v) in sim.stats().named_counters() {
+        let _ = writeln!(stats, "counter {k} {v}");
+    }
+    let total = sim.stats().total();
+    let _ = writeln!(
+        stats,
+        "links total data_pkts={} data_bytes={} ctl_pkts={} ctl_bytes={} drops={}",
+        total.data_packets, total.data_bytes, total.control_packets, total.control_bytes, total.drops
+    );
+    for l in 0..sim.topology().link_count() {
+        let s = sim.stats().link(LinkId(l as u32));
+        if s.packets() > 0 || s.drops > 0 {
+            let _ = writeln!(
+                stats,
+                "link {l} data={}/{} ctl={}/{} drops={}",
+                s.data_packets, s.data_bytes, s.control_packets, s.control_bytes, s.drops
+            );
+        }
+    }
+    (trace, stats)
+}
+
+#[test]
+fn fault_storm_matches_committed_golden() {
+    let (trace, stats) = run_storm(4242);
+    // Intra-run determinism first: a second identical run must agree with
+    // the first before either is compared to the snapshot.
+    let (trace2, stats2) = run_storm(4242);
+    assert_eq!(trace, trace2, "same-seed runs diverged (trace)");
+    assert_eq!(stats, stats2, "same-seed runs diverged (stats)");
+    assert!(trace.lines().count() > 1_000, "storm trace suspiciously small");
+
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(TRACE_GOLDEN, &trace).unwrap();
+        std::fs::write(STATS_GOLDEN, &stats).unwrap();
+        eprintln!("blessed golden snapshot ({} trace lines)", trace.lines().count());
+        return;
+    }
+    let want_trace = std::fs::read_to_string(TRACE_GOLDEN)
+        .expect("golden trace missing; run with BLESS_GOLDEN=1 to create");
+    let want_stats = std::fs::read_to_string(STATS_GOLDEN)
+        .expect("golden stats missing; run with BLESS_GOLDEN=1 to create");
+    // Compare line counts first for a readable failure, then bytes.
+    assert_eq!(
+        trace.lines().count(),
+        want_trace.lines().count(),
+        "trace length diverged from golden"
+    );
+    assert_eq!(trace, want_trace, "trace bytes diverged from golden");
+    assert_eq!(stats, want_stats, "stats dump diverged from golden");
+}
