@@ -182,7 +182,7 @@ impl CbtRouter {
             let Some(st) = self.trees.get(&group) else { return };
             st.on_tree
                 && st.children.is_empty()
-                && self.members.member_ifaces(group).is_empty()
+                && self.members.member_mask(group) == 0
                 && !self.am_core(ctx)
         };
         if quit {
@@ -204,26 +204,22 @@ impl CbtRouter {
         if !st.on_tree || header.ttl <= 1 {
             return;
         }
-        let mut out_ifaces: HashSet<IfaceId> = HashSet::new();
+        let mut out_mask = 0u32;
         if let Some((pi, _)) = st.parent {
-            out_ifaces.insert(pi);
+            out_mask |= util::iface_bit(pi);
         }
         for &(ci, _) in &st.children {
-            out_ifaces.insert(ci);
+            out_mask |= util::iface_bit(ci);
         }
-        for mi in self.members.member_ifaces(group) {
-            out_ifaces.insert(mi);
-        }
+        out_mask |= self.members.member_mask(group);
         if let Some(i) = in_iface {
-            out_ifaces.remove(&i);
+            out_mask &= !util::iface_bit(i);
         }
-        if out_ifaces.is_empty() {
+        if out_mask == 0 {
             return;
         }
         let out = util::patch_ttl(bytes, header.ttl - 1);
-        let mut v: Vec<IfaceId> = out_ifaces.into_iter().collect();
-        v.sort();
-        for i in v {
+        for i in util::iter_mask(out_mask) {
             ctx.send_shared(i, out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
         }
         self.counters.data_forwarded += 1;

@@ -68,8 +68,10 @@ impl DvmrpRouter {
         self.pruned_downstream.len() + self.pruned_upstream.len()
     }
 
-    fn router_ifaces(&self, ctx: &Ctx<'_>) -> Vec<IfaceId> {
-        let mut v = Vec::new();
+    /// Port mask of interfaces with at least one router neighbor — the
+    /// reverse-path-broadcast candidate set.
+    fn router_iface_mask(&self, ctx: &Ctx<'_>) -> u32 {
+        let mut m = 0u32;
         for i in 0..ctx.iface_count() {
             let iface = IfaceId(i as u8);
             if ctx
@@ -77,10 +79,10 @@ impl DvmrpRouter {
                 .iter()
                 .any(|&(n, _)| ctx.topology().kind(n) == netsim::NodeKind::Router)
             {
-                v.push(iface);
+                m |= util::iface_bit(iface);
             }
         }
-        v
+        m
     }
 
     /// Drop prune records past their lifetime so stale state neither
@@ -130,34 +132,28 @@ impl DvmrpRouter {
         }
         // Flood: all router interfaces except arrival and pruned ones, plus
         // member interfaces.
-        let mut oifs: Vec<IfaceId> = self
-            .router_ifaces(ctx)
-            .into_iter()
-            .filter(|&i| i != iface)
-            .filter(|&i| {
-                self.pruned_downstream
-                    .get(&(s, g, i))
-                    .map(|exp| *exp <= now) // expired prune floods again
-                    .unwrap_or(true)
-            })
-            .collect();
-        for mi in self.members.member_ifaces(g) {
-            if mi != iface && !oifs.contains(&mi) {
-                oifs.push(mi);
+        let mut oifs = 0u32;
+        for i in util::iter_mask(self.router_iface_mask(ctx) & !util::iface_bit(iface)) {
+            let live_prune = self
+                .pruned_downstream
+                .get(&(s, g, i))
+                .map(|exp| *exp > now) // expired prune floods again
+                .unwrap_or(false);
+            if !live_prune {
+                oifs |= util::iface_bit(i);
             }
         }
-        oifs.sort();
-        oifs.dedup();
-        if !oifs.is_empty() {
+        oifs |= self.members.member_mask(g) & !util::iface_bit(iface);
+        if oifs != 0 {
             let out = util::patch_ttl(bytes, header.ttl - 1);
-            for &i in &oifs {
+            for i in util::iter_mask(oifs) {
                 ctx.send_shared(i, out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
             }
             self.counters.data_forwarded += 1;
             ctx.count("dvmrp.data_fwd", 1);
         }
         // No interested parties below us and none locally ⇒ prune upstream.
-        if oifs.is_empty() && self.members.member_ifaces(g).is_empty() && !src_is_local {
+        if oifs == 0 && self.members.member_mask(g) == 0 && !src_is_local {
             self.send_prune(ctx, s, g);
         }
     }
@@ -214,17 +210,14 @@ impl DvmrpRouter {
                 );
                 // If everything below us is now pruned and we have no
                 // members, propagate the prune upstream.
-                let all_pruned = self
-                    .router_ifaces(ctx)
-                    .into_iter()
-                    .filter(|&i| Some(i) != ctx.rpf(source).map(|h| h.iface))
-                    .all(|i| {
-                        self.pruned_downstream
-                            .get(&(source, group, i))
-                            .map(|exp| *exp > now)
-                            .unwrap_or(false)
-                    });
-                if all_pruned && self.members.member_ifaces(group).is_empty() {
+                let rpf_bit = ctx.rpf(source).map(|h| util::iface_bit(h.iface)).unwrap_or(0);
+                let all_pruned = util::iter_mask(self.router_iface_mask(ctx) & !rpf_bit).all(|i| {
+                    self.pruned_downstream
+                        .get(&(source, group, i))
+                        .map(|exp| *exp > now)
+                        .unwrap_or(false)
+                });
+                if all_pruned && self.members.member_mask(group) == 0 {
                     self.send_prune(ctx, source, group);
                 }
             }

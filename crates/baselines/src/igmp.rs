@@ -425,6 +425,20 @@ impl MembershipDb {
         self.entries.keys().any(|(_, g)| *g == group)
     }
 
+    /// Interfaces with members for `group`, as a `u32` port mask
+    /// (bit *i* set ⇔ `IfaceId(i)` has members). The bitmap form the
+    /// forwarding paths walk with `trailing_zeros` — no allocation, and
+    /// ascending-bit iteration matches the old sorted-`Vec` order exactly.
+    pub fn member_mask(&self, group: Ipv4Addr) -> u32 {
+        let mut m = 0u32;
+        for (i, g) in self.entries.keys() {
+            if *g == group {
+                m |= 1u32 << i.0;
+            }
+        }
+        m
+    }
+
     /// Interfaces with members for `group`.
     pub fn member_ifaces(&self, group: Ipv4Addr) -> Vec<IfaceId> {
         let mut v: Vec<IfaceId> = self
@@ -526,6 +540,8 @@ mod tests {
         db.update(IfaceId(0), &buf, SimTime(0));
         db.update(IfaceId(2), &buf, SimTime(0));
         assert_eq!(db.member_ifaces(g(1)), vec![IfaceId(0), IfaceId(2)]);
+        assert_eq!(db.member_mask(g(1)), 0b101);
+        assert_eq!(db.member_mask(g(2)), 0);
         assert_eq!(db.groups(), vec![g(1)]);
     }
 }

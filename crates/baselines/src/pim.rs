@@ -32,7 +32,7 @@ use netsim::id::IfaceId;
 use netsim::stats::TrafficClass;
 use netsim::time::{SimDuration, SimTime};
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// PIM-SM configuration.
 #[derive(Debug, Clone, Copy)]
@@ -77,15 +77,15 @@ struct TreeEntry {
 }
 
 impl TreeEntry {
-    fn live_ifaces(&self, now: SimTime) -> Vec<IfaceId> {
-        let mut v: Vec<IfaceId> = self
-            .joined_ifaces
-            .iter()
-            .filter(|(_, exp)| **exp > now)
-            .map(|(i, _)| *i)
-            .collect();
-        v.sort();
-        v
+    /// Unexpired downstream-joined interfaces as a `u32` port mask.
+    fn live_mask(&self, now: SimTime) -> u32 {
+        let mut m = 0u32;
+        for (i, exp) in &self.joined_ifaces {
+            if *exp > now {
+                m |= util::iface_bit(*i);
+            }
+        }
+        m
     }
 }
 
@@ -126,8 +126,9 @@ pub struct PimRouter {
     star_g: HashMap<Ipv4Addr, TreeEntry>,
     sg: HashMap<(Ipv4Addr, Ipv4Addr), TreeEntry>,
     sg_meta: HashMap<(Ipv4Addr, Ipv4Addr), SgMeta>,
-    /// (iface, S, G) pruned off the shared tree (S,G,rpt).
-    rpt_pruned: HashSet<(IfaceId, Ipv4Addr, Ipv4Addr)>,
+    /// Interfaces pruned off the shared tree per (S,G) — the (S,G,rpt)
+    /// records, held as one port mask per source/group pair.
+    rpt_pruned: HashMap<(Ipv4Addr, Ipv4Addr), u32>,
     /// Experiment counters.
     pub counters: PimCounters,
 }
@@ -141,7 +142,7 @@ impl PimRouter {
             star_g: HashMap::new(),
             sg: HashMap::new(),
             sg_meta: HashMap::new(),
-            rpt_pruned: HashSet::new(),
+            rpt_pruned: HashMap::new(),
             counters: PimCounters::default(),
         }
     }
@@ -221,9 +222,9 @@ impl PimRouter {
         let idle = self
             .star_g
             .get(&group)
-            .map(|e| e.live_ifaces(now).is_empty())
+            .map(|e| e.live_mask(now) == 0)
             .unwrap_or(true)
-            && self.members.member_ifaces(group).is_empty();
+            && self.members.member_mask(group) == 0;
         let joined = self.star_g.get(&group).map(|e| e.joined_upstream).unwrap_or(false);
         if idle && joined {
             if let Some(hop) = ctx.next_hop_ip(self.cfg.rp) {
@@ -233,7 +234,7 @@ impl PimRouter {
             }
             self.star_g.remove(&group);
             // The group is gone; its (S,G,rpt) prune records are moot.
-            self.rpt_pruned.retain(|(_, _, g)| *g != group);
+            self.rpt_pruned.retain(|(_, g), _| *g != group);
         }
     }
 
@@ -250,41 +251,30 @@ impl PimRouter {
             .retain(|_, e| e.joined_upstream || !e.joined_ifaces.is_empty());
     }
 
-    /// Outgoing interfaces for a (*,G) shared-tree packet from source `s`.
-    fn shared_oifs(&self, ctx: &mut Ctx<'_>, group: Ipv4Addr, s: Ipv4Addr, in_iface: IfaceId) -> Vec<IfaceId> {
+    /// Outgoing port mask for a (*,G) shared-tree packet from source `s`.
+    fn shared_oifs(&self, ctx: &mut Ctx<'_>, group: Ipv4Addr, s: Ipv4Addr, in_iface: IfaceId) -> u32 {
         let now = ctx.now();
-        let mut set: HashSet<IfaceId> = HashSet::new();
-        if let Some(e) = self.star_g.get(&group) {
-            set.extend(e.live_ifaces(now));
-        }
-        set.extend(self.members.member_ifaces(group));
-        set.remove(&in_iface);
+        let mut m = self.star_g.get(&group).map(|e| e.live_mask(now)).unwrap_or(0);
+        m |= self.members.member_mask(group);
+        m &= !util::iface_bit(in_iface);
         // (S,G,rpt) prunes exclude interfaces that switched to the SPT.
-        set.retain(|i| !self.rpt_pruned.contains(&(*i, s, group)));
-        let mut v: Vec<IfaceId> = set.into_iter().collect();
-        v.sort();
-        v
+        m & !self.rpt_pruned.get(&(s, group)).copied().unwrap_or(0)
     }
 
-    fn sg_oifs(&self, ctx: &mut Ctx<'_>, source: Ipv4Addr, group: Ipv4Addr, in_iface: IfaceId) -> Vec<IfaceId> {
+    /// Outgoing port mask for native (S,G) source-tree data.
+    fn sg_oifs(&self, ctx: &mut Ctx<'_>, source: Ipv4Addr, group: Ipv4Addr, in_iface: IfaceId) -> u32 {
         let now = ctx.now();
-        let mut set: HashSet<IfaceId> = HashSet::new();
-        if let Some(e) = self.sg.get(&(source, group)) {
-            set.extend(e.live_ifaces(now));
-        }
-        set.extend(self.members.member_ifaces(group));
-        set.remove(&in_iface);
-        let mut v: Vec<IfaceId> = set.into_iter().collect();
-        v.sort();
-        v
+        let mut m = self.sg.get(&(source, group)).map(|e| e.live_mask(now)).unwrap_or(0);
+        m |= self.members.member_mask(group);
+        m & !util::iface_bit(in_iface)
     }
 
-    fn emit_data(&mut self, ctx: &mut Ctx<'_>, bytes: &[u8], header: Ipv4Repr, oifs: &[IfaceId]) {
-        if header.ttl <= 1 || oifs.is_empty() {
+    fn emit_data(&mut self, ctx: &mut Ctx<'_>, bytes: &[u8], header: Ipv4Repr, oifs: u32) {
+        if header.ttl <= 1 || oifs == 0 {
             return;
         }
         let out = util::patch_ttl(bytes, header.ttl - 1);
-        for &i in oifs {
+        for i in util::iter_mask(oifs) {
             ctx.send_shared(i, out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
         }
         self.counters.data_forwarded += 1;
@@ -326,23 +316,16 @@ impl PimRouter {
             // RFC 2117 inherited outgoing list: (S,G) joins plus (*,G)
             // joins minus (S,G,rpt) prunes — at the RP this is what carries
             // native source-tree data onward down the shared tree.
-            let mut oifs = self.sg_oifs(ctx, s, g, iface);
-            for i in self.shared_oifs(ctx, g, s, iface) {
-                if !oifs.contains(&i) {
-                    oifs.push(i);
-                }
-            }
-            oifs.sort();
-            self.emit_data(ctx, bytes, header, &oifs);
+            let oifs = self.sg_oifs(ctx, s, g, iface) | self.shared_oifs(ctx, g, s, iface);
+            self.emit_data(ctx, bytes, header, oifs);
             return;
         }
 
         if src_is_local {
             // First-hop: deliver to local members only; remote receivers are
             // served by the register tunnel until (S,G) joins arrive.
-            let mut oifs = self.members.member_ifaces(g);
-            oifs.retain(|&i| i != iface);
-            self.emit_data(ctx, bytes, header, &oifs);
+            let oifs = self.members.member_mask(g) & !util::iface_bit(iface);
+            self.emit_data(ctx, bytes, header, oifs);
             return;
         }
 
@@ -351,7 +334,7 @@ impl PimRouter {
         let rpt_iif = ctx.rpf(self.cfg.rp).map(|h| h.iface);
         if rpt_iif == Some(iface) || self.am_rp(ctx) {
             let oifs = self.shared_oifs(ctx, g, s, iface);
-            self.emit_data(ctx, bytes, header, &oifs);
+            self.emit_data(ctx, bytes, header, oifs);
             self.maybe_switch_to_spt(ctx, s, g, iface);
         }
     }
@@ -362,7 +345,7 @@ impl PimRouter {
     fn maybe_switch_to_spt(&mut self, ctx: &mut Ctx<'_>, s: Ipv4Addr, g: Ipv4Addr, _iface: IfaceId) {
         let Some(threshold) = self.cfg.spt_threshold else { return };
         // Only last-hop routers (with local members) initiate the switch.
-        if self.members.member_ifaces(g).is_empty() {
+        if self.members.member_mask(g) == 0 {
             return;
         }
         let meta = self.sg_meta.entry((s, g)).or_default();
@@ -398,7 +381,7 @@ impl PimRouter {
         // Forward down the shared tree (no incoming interface to exclude —
         // the packet arrived by tunnel).
         let oifs = self.shared_oifs(ctx, g, s, IfaceId(31));
-        self.emit_data(ctx, &inner, inner_hdr, &oifs);
+        self.emit_data(ctx, &inner, inner_hdr, oifs);
 
         let meta = self.sg_meta.entry((s, g)).or_default();
         let native = meta.native_seen;
@@ -474,7 +457,7 @@ impl PimRouter {
                                 e.joined_ifaces.remove(&iface);
                             }
                         } else if p.rpt {
-                            self.rpt_pruned.insert((iface, p.addr, gb.group));
+                            *self.rpt_pruned.entry((p.addr, gb.group)).or_insert(0) |= util::iface_bit(iface);
                         } else if let Some(e) = self.sg.get_mut(&(p.addr, gb.group)) {
                             e.joined_ifaces.remove(&iface);
                         }
@@ -554,7 +537,10 @@ impl Agent for PimRouter {
         for e in self.star_g.values_mut().chain(self.sg.values_mut()) {
             e.joined_ifaces.remove(&iface);
         }
-        self.rpt_pruned.retain(|(i, _, _)| *i != iface);
+        for m in self.rpt_pruned.values_mut() {
+            *m &= !util::iface_bit(iface);
+        }
+        self.rpt_pruned.retain(|_, m| *m != 0);
         let groups: Vec<Ipv4Addr> = self.star_g.keys().copied().collect();
         for g in groups {
             self.prune_shared_tree_if_idle(ctx, g);
@@ -585,8 +571,8 @@ mod tests {
         let mut e = TreeEntry::default();
         e.joined_ifaces.insert(IfaceId(1), SimTime(100));
         e.joined_ifaces.insert(IfaceId(2), SimTime(300));
-        assert_eq!(e.live_ifaces(SimTime(200)), vec![IfaceId(2)]);
-        assert_eq!(e.live_ifaces(SimTime(400)), Vec::<IfaceId>::new());
+        assert_eq!(e.live_mask(SimTime(200)), util::iface_bit(IfaceId(2)));
+        assert_eq!(e.live_mask(SimTime(400)), 0);
     }
 
     #[test]

@@ -8,6 +8,39 @@ use netsim::stats::TrafficClass;
 /// Default TTL for generated datagrams.
 pub const DEFAULT_TTL: u8 = 64;
 
+/// Bit for interface `i` in a `u32` port mask. Nodes cap at 32 interfaces
+/// (`netsim::Topology` enforces it), so one word covers every port.
+#[inline]
+pub fn iface_bit(i: netsim::IfaceId) -> u32 {
+    1u32 << i.0
+}
+
+/// Iterate the set bits of a port mask in ascending interface order —
+/// the same order the old sorted `Vec<IfaceId>` oif lists produced, which
+/// keeps packet emission order (and thus goldens) byte-identical.
+#[inline]
+pub fn iter_mask(mask: u32) -> IfaceMaskIter {
+    IfaceMaskIter(mask)
+}
+
+/// Iterator over a `u32` port mask, lowest interface first.
+#[derive(Debug, Clone, Copy)]
+pub struct IfaceMaskIter(u32);
+
+impl Iterator for IfaceMaskIter {
+    type Item = netsim::IfaceId;
+
+    #[inline]
+    fn next(&mut self) -> Option<netsim::IfaceId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as u8;
+        self.0 &= self.0 - 1;
+        Some(netsim::IfaceId(i))
+    }
+}
+
 /// Build a multicast data datagram from `src` to group `dst` with a zeroed
 /// payload of `payload_len` octets.
 pub fn group_data(src: Ipv4Addr, dst: Ipv4Addr, payload_len: usize, ttl: u8) -> Vec<u8> {

@@ -272,6 +272,8 @@ pub struct EcmpRouter {
     /// Interned handles for the per-packet counters, registered in
     /// `on_start` so the forwarding fast path bumps by array index.
     hot: Option<HotCounters>,
+    /// Recycled forwarding buffers (see [`PayloadPool`]).
+    fwd_pool: PayloadPool,
 }
 
 /// Pre-registered [`CounterId`]s for the counters on the data fast path.
@@ -299,6 +301,7 @@ impl EcmpRouter {
             local_results: Vec::new(),
             counters: RouterCounters::default(),
             hot: None,
+            fwd_pool: PayloadPool::default(),
         }
     }
 
@@ -1170,13 +1173,14 @@ impl EcmpRouter {
                 }
                 // One TTL patch per hop; every out-interface (and every
                 // receiver behind each) shares the patched buffer.
-                let out = patch_ttl(bytes, header.ttl - 1);
+                let out = self.fwd_pool.patch_ttl(bytes, header.ttl - 1);
                 let mut m = mask;
                 while m != 0 {
                     let i = m.trailing_zeros() as u8;
                     m &= m - 1;
                     ctx.send_shared(IfaceId(i), out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
                 }
+                self.fwd_pool.release(out);
                 self.counters.data_forwarded += 1;
                 match self.hot {
                     Some(h) => ctx.count_id(h.data_fwd, 1),
@@ -1218,13 +1222,15 @@ impl EcmpRouter {
             ctx.count("express.ttl_drop", 1);
             return;
         }
-        let out = patch_ttl(&inner, inner_hdr.ttl - 1);
-        let mut m = e.oif_mask();
+        let mask = e.oif_mask();
+        let out = self.fwd_pool.patch_ttl(&inner, inner_hdr.ttl - 1);
+        let mut m = mask;
         while m != 0 {
             let i = m.trailing_zeros() as u8;
             m &= m - 1;
             ctx.send_shared(IfaceId(i), out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
         }
+        self.fwd_pool.release(out);
         self.counters.data_forwarded += 1;
         match self.hot {
             Some(h) => ctx.count_id(h.subcast_fwd, 1),
@@ -1243,9 +1249,10 @@ impl EcmpRouter {
             ctx.count("express.unroutable", 1);
             return;
         };
-        let out = patch_ttl(bytes, header.ttl - 1);
+        let out = self.fwd_pool.patch_ttl(bytes, header.ttl - 1);
         let next = hop.next;
-        ctx.send_shared(hop.iface, out, class, Reliability::Datagram, Tx::To(next));
+        ctx.send_shared(hop.iface, out.clone(), class, Reliability::Datagram, Tx::To(next));
+        self.fwd_pool.release(out);
     }
 
     /// UDP-mode expiry sweep + periodic general query on one interface.
@@ -1442,20 +1449,66 @@ impl EcmpRouter {
     }
 }
 
-/// Rewrite the TTL of a datagram (recomputing the header checksum),
-/// producing a shared buffer so one patch serves every out-interface of the
-/// hop via [`Ctx::send_shared`] — the forwarding path's only allocation.
-fn patch_ttl(bytes: &[u8], new_ttl: u8) -> Payload {
-    let mut arc: Payload = Payload::from(bytes);
-    let out = Payload::get_mut(&mut arc).expect("freshly built, uniquely owned");
-    if out.len() >= ipv4::HEADER_LEN {
-        out[8] = new_ttl;
-        out[10] = 0;
-        out[11] = 0;
-        let ck = express_wire::checksum::checksum(&out[..ipv4::HEADER_LEN]);
-        out[10..12].copy_from_slice(&ck.to_be_bytes());
+/// A small recycling pool for forwarding buffers.
+///
+/// `Ctx::send_shared` clones the `Arc` handle per out-interface; once every
+/// delivery event has been consumed, the handle parked here by
+/// [`PayloadPool::release`] is uniquely owned again, and the next forward
+/// of a same-sized frame reuses its allocation — a memcpy instead of a
+/// fresh `Arc<[u8]>` — driving the steady-state forwarding path to ~0
+/// allocations per packet. Reuse is content-independent (the buffer is
+/// fully overwritten before the TTL patch), so whether a given forward hit
+/// or missed the pool can never change emitted bytes or event order, and
+/// replay determinism is unaffected.
+#[derive(Default)]
+struct PayloadPool {
+    slots: Vec<Payload>,
+}
+
+impl PayloadPool {
+    /// At most this many parked handles; beyond it, returns are dropped.
+    const CAP: usize = 8;
+
+    /// Copy `bytes` into a recycled (or fresh) shared buffer with the TTL
+    /// rewritten to `new_ttl` and the header checksum recomputed, so one
+    /// patch serves every out-interface of the hop via `send_shared`.
+    fn patch_ttl(&mut self, bytes: &[u8], new_ttl: u8) -> Payload {
+        let mut arc = self.acquire(bytes);
+        let out = Payload::get_mut(&mut arc).expect("unique by construction");
+        if out.len() >= ipv4::HEADER_LEN {
+            out[8] = new_ttl;
+            out[10] = 0;
+            out[11] = 0;
+            let ck = express_wire::checksum::checksum(&out[..ipv4::HEADER_LEN]);
+            out[10..12].copy_from_slice(&ck.to_be_bytes());
+        }
+        arc
     }
-    arc
+
+    /// A uniquely-owned buffer holding a copy of `bytes`: recycled from the
+    /// pool when a parked same-length handle has shed all its delivery
+    /// clones, freshly allocated otherwise.
+    fn acquire(&mut self, bytes: &[u8]) -> Payload {
+        let hit = self
+            .slots
+            .iter_mut()
+            .position(|s| s.len() == bytes.len() && Payload::get_mut(s).is_some());
+        match hit {
+            Some(idx) => {
+                let mut arc = self.slots.swap_remove(idx);
+                Payload::get_mut(&mut arc).expect("checked unique").copy_from_slice(bytes);
+                arc
+            }
+            None => Payload::from(bytes),
+        }
+    }
+
+    /// Park a handle for reuse once its delivery clones drop.
+    fn release(&mut self, arc: Payload) {
+        if self.slots.len() < Self::CAP {
+            self.slots.push(arc);
+        }
+    }
 }
 
 impl Agent for EcmpRouter {
@@ -1652,9 +1705,30 @@ mod tests {
     fn patch_ttl_keeps_checksum_valid() {
         let chan = Channel::new(Ipv4Addr::new(10, 0, 0, 1), 1).unwrap();
         let pkt = packets::channel_data(chan, 16, 64);
-        let patched = patch_ttl(&pkt, 63);
+        let mut pool = PayloadPool::default();
+        let patched = pool.patch_ttl(&pkt, 63);
         let hdr = Ipv4Repr::parse(&patched).unwrap();
         assert_eq!(hdr.ttl, 63);
+    }
+
+    #[test]
+    fn payload_pool_recycles_unique_same_length_buffers() {
+        let chan = Channel::new(Ipv4Addr::new(10, 0, 0, 1), 1).unwrap();
+        let pkt = packets::channel_data(chan, 16, 64);
+        let mut pool = PayloadPool::default();
+        let first = pool.patch_ttl(&pkt, 63);
+        let addr = first.as_ptr() as usize;
+        pool.release(first); // unique: eligible for reuse
+        let second = pool.patch_ttl(&pkt, 62);
+        assert_eq!(second.as_ptr() as usize, addr, "unique buffer is recycled");
+        assert_eq!(Ipv4Repr::parse(&second).unwrap().ttl, 62);
+
+        // A still-shared handle must NOT be recycled.
+        let held = second.clone();
+        pool.release(second);
+        let third = pool.patch_ttl(&pkt, 61);
+        assert_ne!(third.as_ptr() as usize, addr, "shared buffer stays intact");
+        assert_eq!(Ipv4Repr::parse(&held).unwrap().ttl, 62);
     }
 
     #[test]

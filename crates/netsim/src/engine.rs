@@ -20,6 +20,18 @@
 //!   notification) is delivered via [`Agent::on_link_change`].
 //! * Frames are raw octets; agents parse them with `express-wire`. The
 //!   engine never interprets packet contents.
+//!
+//! ## Event ordering
+//!
+//! All future work — deliveries, timers, faults — lives in one
+//! [`TimerWheel`] and executes in `(timestamp, sequence)` order: ties at
+//! the same microsecond resolve FIFO by scheduling order. The wheel's
+//! geometry ([`WheelConfig`]: bucket granularity × slot count) affects only
+//! the *cost* of scheduling, never the order; see [`crate::wheel`] for the
+//! invariants and `docs/INTERNALS.md` for the architecture. Determinism is
+//! pinned three ways: the `queue_`-prefixed property tests (wheel vs.
+//! reference heap), the golden fault-storm replay, and a golden replay at a
+//! non-default granularity.
 
 use crate::id::{IfaceId, LinkId, NodeId};
 use crate::metrics::{Metrics, MetricsConfig};
@@ -28,12 +40,13 @@ use crate::stats::{CounterId, Stats, TrafficClass};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeKind, Topology};
 use crate::trace::{DropReason, PacketId, ProtoEvent, TraceBuffer, TraceConfig, TraceKind, TraceLevel};
+use crate::wheel::{TimerWheel, WheelConfig};
 use std::borrow::Cow;
 use express_wire::addr::{Channel, Ipv4Addr};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::any::Any;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// An opaque timer cookie chosen by the agent; returned verbatim in
@@ -173,30 +186,6 @@ enum EventKind {
     },
 }
 
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// Everything an [`Agent`] can see and do. Borrowed views into the engine,
 /// scoped to the node being dispatched.
 pub struct Ctx<'a> {
@@ -221,8 +210,11 @@ struct World {
     stats: Stats,
     rng: StdRng,
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Event>,
+    /// The pending-event set: a calendar-queue timer wheel popping in the
+    /// deterministic `(timestamp, seq)` total order (see [`crate::wheel`]).
+    /// Sequence numbers are assigned inside the wheel at push time, so
+    /// same-timestamp events fire in scheduling order.
+    queue: TimerWheel<EventKind>,
     events_processed: u64,
     /// High-water mark of the event queue (capacity planning for
     /// large-scale runs; reported by the scale benchmarks).
@@ -247,9 +239,7 @@ struct World {
 
 impl World {
     fn push(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Event { at, seq, kind });
+        self.queue.push(at, kind);
         if self.queue.len() > self.peak_queue_depth {
             self.peak_queue_depth = self.queue.len();
         }
@@ -684,6 +674,15 @@ impl Sim {
     /// starts with a [`NullAgent`]; attach real protocol agents with
     /// [`set_agent`](Self::set_agent) before calling [`run`](Self::run).
     pub fn new(topo: Topology, seed: u64) -> Self {
+        Self::new_with_wheel(topo, seed, WheelConfig::default())
+    }
+
+    /// [`new`](Self::new) with an explicit event-wheel geometry. Wheel
+    /// geometry affects only scheduling cost, never event order — the popped
+    /// stream is identical for every configuration (pinned by the
+    /// `queue_order_is_granularity_independent` property test and a golden
+    /// replay run at a non-default granularity).
+    pub fn new_with_wheel(topo: Topology, seed: u64, wheel: WheelConfig) -> Self {
         let n = topo.node_count();
         let links = topo.link_count();
         Sim {
@@ -693,8 +692,7 @@ impl Sim {
                 stats: Stats::new(links),
                 rng: StdRng::seed_from_u64(seed),
                 now: SimTime::ZERO,
-                seq: 0,
-                queue: BinaryHeap::new(),
+                queue: TimerWheel::new(wheel),
                 events_processed: 0,
                 peak_queue_depth: 0,
                 node_down: vec![false; n],
@@ -885,13 +883,13 @@ impl Sim {
     /// Process one event; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.start();
-        let Some(ev) = self.world.queue.pop() else {
+        let Some((at, kind)) = self.world.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.world.now, "time must be monotone");
-        self.world.now = ev.at;
+        debug_assert!(at >= self.world.now, "time must be monotone");
+        self.world.now = at;
         self.world.events_processed += 1;
-        match ev.kind {
+        match kind {
             EventKind::Arrival {
                 node,
                 iface,
@@ -1084,13 +1082,11 @@ impl Sim {
     /// are processed) or the queue drains.
     pub fn run_until(&mut self, until: SimTime) {
         self.start();
-        loop {
-            match self.world.queue.peek() {
-                Some(ev) if ev.at <= until => {
-                    self.step();
-                }
-                _ => break,
+        while let Some(at) = self.world.queue.next_at() {
+            if at > until {
+                break;
             }
+            self.step();
         }
         if self.world.now < until {
             self.world.now = until;

@@ -44,8 +44,10 @@ pub mod topogen;
 pub mod topology;
 pub mod trace;
 pub mod transport;
+pub mod wheel;
 
 pub use engine::{Agent, Ctx, Payload, Sim, TimerToken, TopologyChange};
+pub use wheel::{TimerWheel, WheelConfig};
 pub use stats::CounterId;
 pub use faults::{FaultEvent, FaultPlan};
 pub use id::{IfaceId, LinkId, NodeId};

@@ -23,7 +23,7 @@ use netsim::faults::FaultPlan;
 use netsim::time::{SimDuration, SimTime};
 use netsim::topogen;
 use netsim::topology::LinkSpec;
-use netsim::{LinkId, Sim, TraceConfig};
+use netsim::{LinkId, Sim, TraceConfig, WheelConfig};
 use std::fmt::Write as _;
 
 const TRACE_GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/fault_storm.trace.jsonl");
@@ -38,8 +38,14 @@ fn at_ms(ms: u64) -> SimTime {
 /// flaps, a router crash + restart, and a 30% loss burst — every fault
 /// class `FaultPlan` models, all while tracing.
 fn run_storm(seed: u64) -> (String, String) {
+    run_storm_with(seed, WheelConfig::default())
+}
+
+/// Same storm, explicit timer-wheel geometry — the granularity-independence
+/// pin reruns it on a coarse wheel and demands the same golden bytes.
+fn run_storm_with(seed: u64, wheel: WheelConfig) -> (String, String) {
     let g = topogen::random_connected(30, 10, 40, LinkSpec::default(), 77);
-    let mut sim = Sim::new(g.topo.clone(), seed);
+    let mut sim = Sim::new_with_wheel(g.topo.clone(), seed, wheel);
     let cfg = RouterConfig::default();
     for &r in &g.routers {
         sim.set_agent(r, Box::new(EcmpRouter::new(cfg)));
@@ -131,4 +137,23 @@ fn fault_storm_matches_committed_golden() {
     );
     assert_eq!(trace, want_trace, "trace bytes diverged from golden");
     assert_eq!(stats, want_stats, "stats dump diverged from golden");
+}
+
+#[test]
+fn fault_storm_is_wheel_granularity_independent() {
+    // A coarse 1.024 ms × 512-slot wheel (vs the default 128 µs × 16384)
+    // changes which events share a bucket and how often the overflow heap
+    // racks into the wheel — but the (at, seq) pop order, and therefore
+    // every traced byte, must not move. Only run the comparison when the
+    // goldens exist (BLESS_GOLDEN creates them via the primary test).
+    let (trace, stats) = run_storm_with(4242, WheelConfig { granularity_us: 1024, slots: 512 });
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        return;
+    }
+    let want_trace = std::fs::read_to_string(TRACE_GOLDEN)
+        .expect("golden trace missing; run with BLESS_GOLDEN=1 to create");
+    let want_stats = std::fs::read_to_string(STATS_GOLDEN)
+        .expect("golden stats missing; run with BLESS_GOLDEN=1 to create");
+    assert_eq!(trace, want_trace, "trace diverged at non-default wheel granularity");
+    assert_eq!(stats, want_stats, "stats diverged at non-default wheel granularity");
 }
