@@ -254,6 +254,10 @@ impl CbtRouter {
 }
 
 impl Agent for CbtRouter {
+    fn kind_name(&self) -> &'static str {
+        "cbt_router"
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, class: TrafficClass) {
         let me = ctx.my_ip();
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };

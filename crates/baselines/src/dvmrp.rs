@@ -240,6 +240,10 @@ impl Default for DvmrpRouter {
 }
 
 impl Agent for DvmrpRouter {
+    fn kind_name(&self) -> &'static str {
+        "dvmrp_router"
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, class: TrafficClass) {
         let me = ctx.my_ip();
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };

@@ -224,6 +224,10 @@ impl GroupHost {
 }
 
 impl Agent for GroupHost {
+    fn kind_name(&self) -> &'static str {
+        "group_host"
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &Payload, _class: TrafficClass) {
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         let payload = &bytes[ipv4::HEADER_LEN..ipv4::HEADER_LEN + header.payload_len];
@@ -319,6 +323,10 @@ impl IgmpQuerier {
 }
 
 impl Agent for IgmpQuerier {
+    fn kind_name(&self) -> &'static str {
+        "igmp_querier"
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.set_timer(self.interval, 0);
     }

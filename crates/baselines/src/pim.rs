@@ -479,6 +479,10 @@ impl PimRouter {
 }
 
 impl Agent for PimRouter {
+    fn kind_name(&self) -> &'static str {
+        "pim_router"
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.set_timer(self.cfg.join_refresh, TIMER_REFRESH);
     }

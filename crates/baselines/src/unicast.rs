@@ -48,6 +48,10 @@ impl UnicastSource {
 }
 
 impl Agent for UnicastSource {
+    fn kind_name(&self) -> &'static str {
+        "unicast_source"
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let Some(payload_len) = self.bursts.remove(&token) else { return };
         let me = ctx.my_ip();
@@ -82,6 +86,10 @@ impl UnicastSink {
 }
 
 impl Agent for UnicastSink {
+    fn kind_name(&self) -> &'static str {
+        "unicast_sink"
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &Payload, _class: TrafficClass) {
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         if header.dst == ctx.my_ip() && header.protocol == Protocol::Udp {
@@ -100,6 +108,10 @@ impl Agent for UnicastSink {
 pub struct UnicastRouter;
 
 impl Agent for UnicastRouter {
+    fn kind_name(&self) -> &'static str {
+        "unicast_router"
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &Payload, class: TrafficClass) {
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         if header.dst != ctx.my_ip() && !header.dst.is_multicast() {

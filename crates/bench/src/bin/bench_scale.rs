@@ -46,7 +46,7 @@ use netsim::engine::{Reliability, Tx};
 use netsim::time::SimTime;
 use netsim::topogen;
 use netsim::topology::{LinkSpec, Topology};
-use netsim::{Agent, Ctx, IfaceId, Sim};
+use netsim::{Agent, Ctx, IfaceId, JsonlSink, MetricsConfig, ProfConfig, Sim, TraceConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::any::Any;
 use std::fmt::Write as _;
@@ -90,6 +90,10 @@ struct Blaster {
 }
 
 impl Agent for Blaster {
+    fn kind_name(&self) -> &'static str {
+        "blaster"
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
         ctx.send(IfaceId(0), &self.pkt, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
     }
@@ -117,6 +121,10 @@ impl AccountingSink {
 }
 
 impl Agent for AccountingSink {
+    fn kind_name(&self) -> &'static str {
+        "accounting_sink"
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.data_rx = Some(ctx.counter("sink.data_rx"));
     }
@@ -333,6 +341,14 @@ fn star_fanout(n: usize, warm: usize, meas: usize) -> Measurement {
 /// The §5.3 k-ary distribution tree: binary router tree of `depth`, one
 /// accounting sink per leaf, FIB pre-seeded down the whole tree.
 fn kary_scale(depth: usize, warm: usize, meas: usize) -> Measurement {
+    kary_scale_obs(depth, warm, meas, false)
+}
+
+/// `kary_scale`, optionally with the full observability stack *enabled*:
+/// metrics, the engine self-profiler, and a streaming JSONL trace sink at
+/// 1/1024 causal sampling (written to `io::sink` so the A/B comparison in
+/// `--overhead-check` measures instrumentation cost, not disk bandwidth).
+fn kary_scale_obs(depth: usize, warm: usize, meas: usize, observed: bool) -> Measurement {
     let t0 = Instant::now();
     let a0 = ALLOCS.load(Ordering::Relaxed);
     let g = topogen::kary_tree(2, depth, LinkSpec::default());
@@ -341,6 +357,14 @@ fn kary_scale(depth: usize, warm: usize, meas: usize) -> Measurement {
     let routers = g.routers;
     let hosts = g.hosts;
     let mut sim = Sim::new(g.topo, 7);
+    if observed {
+        sim.enable_metrics(MetricsConfig::default());
+        sim.enable_prof(ProfConfig::default());
+        sim.enable_trace_sink(
+            TraceConfig::default().sample_one_in(1024),
+            Box::new(JsonlSink::new(std::io::sink())),
+        );
+    }
     // Build each router completely (config + static route) before boxing:
     // one pass, no re-borrow/downcast of 2M scattered agent boxes.
     for &r in &routers {
@@ -451,6 +475,36 @@ fn short(n: usize) -> String {
 
 const OUT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/bench_scale_baseline.json");
+const OVERHEAD_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/bench_overhead.json");
+
+/// Strip characters that would need JSON escaping from a host string.
+fn json_safe(s: &str) -> String {
+    s.chars().filter(|c| !c.is_control() && *c != '"' && *c != '\\').collect()
+}
+
+/// The host environment the numbers were taken on — CPU model, core count,
+/// kernel — so PERFORMANCE.md's host-noise methodology has the context it
+/// tells readers to check.
+fn host_env_json(indent: &str) -> String {
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|t| {
+            t.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into());
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|_| "unknown".into());
+    format!(
+        "{{\n{indent}  \"cpu_model\": \"{}\",\n{indent}  \"cores\": {cores},\n{indent}  \"kernel\": \"{}\"\n{indent}}}",
+        json_safe(&cpu),
+        json_safe(&kernel)
+    )
+}
 
 fn scenario_json(m: &Measurement, speedup: Option<f64>) -> String {
     let mut s = String::new();
@@ -508,13 +562,92 @@ fn parse_baseline(text: &str) -> Vec<(String, usize, f64)> {
     out
 }
 
+/// The observability-overhead gate (`--overhead-check`): A/B the k-ary tree
+/// with the full observability stack disabled vs enabled, record both to
+/// `results/bench_overhead.json`, and fail hard if
+///
+/// * the *disabled* run allocates (> 0.05 allocs/event — zero-cost-when-off
+///   must not regress into per-event heap traffic), or
+/// * the disabled run falls below 95% of the matching BENCH_scale.json
+///   number of record (instrumentation compiled in must not slow the
+///   uninstrumented path).
+fn overhead_check(quick: bool, deep: bool) {
+    let (depth, warm, meas, reps) = if deep {
+        (20, 2, 5, 1)
+    } else if quick {
+        (10, 2, 5, 2)
+    } else {
+        (14, 2, 10, 3)
+    };
+    eprintln!("bench_scale --overhead-check: kary depth {depth}, observability disabled vs enabled");
+    let off = best_of(reps, || kary_scale_obs(depth, warm, meas, false));
+    let on = best_of(reps, || kary_scale_obs(depth, warm, meas, true));
+    let enabled_ratio = on.events_per_sec / off.events_per_sec;
+    let record = std::fs::read_to_string(OUT_PATH)
+        .map(|t| parse_baseline(&t))
+        .unwrap_or_default()
+        .into_iter()
+        .find(|(n, s, _)| *n == off.name && *s == off.subscribers)
+        .map(|(_, _, e)| e);
+    let vs_record = record.map(|r| off.events_per_sec / r);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_overhead/v1\",\n");
+    let _ = writeln!(json, "  \"scenario\": \"{}\",", off.name);
+    let _ = writeln!(json, "  \"subscribers\": {},", off.subscribers);
+    let _ = writeln!(json, "  \"disabled_events_per_sec\": {:.0},", off.events_per_sec);
+    let _ = writeln!(json, "  \"enabled_events_per_sec\": {:.0},", on.events_per_sec);
+    let _ = writeln!(json, "  \"enabled_over_disabled\": {enabled_ratio:.3},");
+    let _ = writeln!(json, "  \"disabled_allocs_per_event\": {:.4},", off.allocs_per_event);
+    if let Some(x) = vs_record {
+        let _ = writeln!(json, "  \"disabled_vs_record\": {x:.3},");
+    }
+    let _ = write!(json, "  \"host\": {}\n}}\n", host_env_json("  "));
+    std::fs::write(OVERHEAD_PATH, &json).expect("write overhead output");
+    eprintln!("wrote {OVERHEAD_PATH}");
+    eprintln!(
+        "  disabled {:.0} ev/s | enabled {:.0} ev/s ({:.1}% of disabled)",
+        off.events_per_sec,
+        on.events_per_sec,
+        enabled_ratio * 100.0
+    );
+
+    let mut failed = false;
+    if off.allocs_per_event > 0.05 {
+        eprintln!(
+            "OVERHEAD GATE FAIL: disabled run allocates {:.4} allocs/event (> 0.05) — observability is not zero-cost when off",
+            off.allocs_per_event
+        );
+        failed = true;
+    }
+    match vs_record {
+        Some(x) if x < 0.95 => {
+            eprintln!(
+                "OVERHEAD GATE FAIL: disabled run at {:.1}% of the {} number of record in BENCH_scale.json (floor 95%)",
+                x * 100.0,
+                off.name
+            );
+            failed = true;
+        }
+        Some(x) => eprintln!("  disabled run at {:.1}% of the number of record (floor 95%) — ok", x * 100.0),
+        None => eprintln!("  no matching scenario in BENCH_scale.json; record comparison skipped"),
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let rebaseline = args.iter().any(|a| a == "--rebaseline");
-    if let Some(bad) = args.iter().find(|a| *a != "--quick" && *a != "--rebaseline") {
-        eprintln!("unknown flag {bad}; usage: bench_scale [--quick] [--rebaseline]");
+    let overhead = args.iter().any(|a| a == "--overhead-check");
+    let deep = args.iter().any(|a| a == "--deep");
+    const FLAGS: [&str; 4] = ["--quick", "--rebaseline", "--overhead-check", "--deep"];
+    if let Some(bad) = args.iter().find(|a| !FLAGS.contains(&a.as_str())) {
+        eprintln!("unknown flag {bad}; usage: bench_scale [--quick] [--rebaseline] [--overhead-check [--deep]]");
         std::process::exit(2);
+    }
+    if overhead {
+        overhead_check(quick, deep);
     }
     let mode = if quick { "quick" } else { "full" };
     eprintln!("bench_scale ({mode} mode)");
@@ -556,6 +689,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n  \"schema\": \"bench_scale/v1\",\n");
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(json, "  \"host\": {},", host_env_json("  "));
     json.push_str("  \"scenarios\": [\n");
     for (i, m) in scenarios.iter().enumerate() {
         json.push_str(&scenario_json(m, speedup_of(m)));

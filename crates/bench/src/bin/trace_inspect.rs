@@ -19,7 +19,7 @@ use express_bench::harness::at_ms;
 use express_wire::addr::Channel;
 use netsim::stats::TrafficClass;
 use netsim::topology::LinkSpec;
-use netsim::trace::{TraceBuffer, TraceEvent, TraceKind};
+use netsim::trace::{TraceBuffer, TraceEvent, TraceKind, TraceMeta};
 use netsim::{Histogram, NodeId, Sim, Topology, TraceConfig};
 use std::collections::BTreeMap;
 
@@ -76,9 +76,9 @@ fn describe(kind: &TraceKind) -> (Option<NodeId>, String) {
             let cls = if *class == TrafficClass::Data { "data" } else { "ctrl" };
             (Some(*node), format!("rx   {id} {cls} on {iface} root={root} age={age}"))
         }
-        TraceKind::PacketDrop { link, id, reason, class } => {
+        TraceKind::PacketDrop { link, id, root, reason, class } => {
             let cls = if *class == TrafficClass::Data { "data" } else { "ctrl" };
-            (None, format!("drop {id} {cls} on {link} ({reason:?})"))
+            (None, format!("drop {id} {cls} on {link} root={root} ({reason:?})"))
         }
         TraceKind::TimerFire { node, token } => (Some(*node), format!("timer token={token}")),
         TraceKind::Topology(change) => (None, format!("topology {change:?}")),
@@ -219,6 +219,27 @@ fn print_paths(buf: &TraceBuffer) {
     }
 }
 
+/// Print the capture's header/footer metadata; shout if events were lost.
+fn print_meta(meta: &TraceMeta) {
+    let sample = match meta.sample {
+        Some(n) if n > 1 => format!(", causal sampling 1/{n}"),
+        _ => String::new(),
+    };
+    println!(
+        "capture: schema v{} via {} sink{sample}{}",
+        meta.version,
+        meta.source,
+        meta.events.map(|n| format!(", {n} events recorded")).unwrap_or_default()
+    );
+    if let Some(d) = meta.discarded.filter(|&d| d > 0) {
+        eprintln!("\n!!! WARNING: {d} events were DISCARDED during capture !!!");
+        eprintln!("!!! This trace is INCOMPLETE: summaries, latency histograms and");
+        eprintln!("!!! packet paths below may be missing hops or whole chains.");
+        eprintln!("!!! Use a streaming JSONL sink (Sim::enable_trace_sink) or causal");
+        eprintln!("!!! sampling to capture long runs without ring overwrite.\n");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let events: Vec<TraceEvent> = match args.first().map(String::as_str) {
@@ -228,6 +249,9 @@ fn main() {
             // Round-trip through the JSONL exporter so the file format is
             // exercised even without a file on disk.
             let jsonl = captured.to_jsonl();
+            if let Some(meta) = TraceMeta::parse(&jsonl) {
+                print_meta(&meta);
+            }
             let reparsed = TraceBuffer::parse_jsonl(&jsonl);
             assert_eq!(reparsed.len(), captured.len(), "JSONL round-trip lost events");
             reparsed
@@ -241,6 +265,10 @@ fn main() {
                 }
             };
             println!("=== trace_inspect {path} ===\n");
+            match TraceMeta::parse(&text) {
+                Some(meta) => print_meta(&meta),
+                None => println!("capture: no trace_header line (schema v1 export?)"),
+            }
             TraceBuffer::parse_jsonl(&text)
         }
         _ => {

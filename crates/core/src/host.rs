@@ -703,6 +703,10 @@ pub fn send_subscription(ctx: &mut Ctx<'_>, channel: Channel, key: Option<Channe
 }
 
 impl Agent for ExpressHost {
+    fn kind_name(&self) -> &'static str {
+        "express_host"
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.hot_data_rx = Some(ctx.counter("host.data_rx"));
     }

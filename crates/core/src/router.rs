@@ -1512,6 +1512,10 @@ impl PayloadPool {
 }
 
 impl Agent for EcmpRouter {
+    fn kind_name(&self) -> &'static str {
+        "ecmp_router"
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         // Intern the per-packet counters once; the forwarding fast path
         // bumps them by handle (registration alone surfaces nothing).

@@ -35,11 +35,14 @@
 
 use crate::id::{IfaceId, LinkId, NodeId};
 use crate::metrics::{Metrics, MetricsConfig};
+use crate::prof::{EventClass, ProfConfig, Profiler, WheelGauges};
 use crate::routing::{NextHop, Routing};
 use crate::stats::{CounterId, Stats, TrafficClass};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeKind, Topology};
-use crate::trace::{DropReason, PacketId, ProtoEvent, TraceBuffer, TraceConfig, TraceKind, TraceLevel};
+use crate::trace::{
+    DropReason, PacketId, ProtoEvent, TraceBuffer, TraceConfig, TraceKind, TraceLevel, TraceSink, Tracer,
+};
 use crate::wheel::{TimerWheel, WheelConfig};
 use std::borrow::Cow;
 use express_wire::addr::{Channel, Ipv4Addr};
@@ -132,6 +135,14 @@ pub trait Agent {
     /// e.g. a PIM RP could watch for [`TopologyChange::NodeDown`] of a peer.
     fn on_topology_change(&mut self, _ctx: &mut Ctx<'_>, _change: TopologyChange) {}
 
+    /// A short stable label for this agent's *type* (`ecmp_router`,
+    /// `express_host`, …), used by the engine self-profiler to attribute
+    /// dispatch time per agent kind. The default is fine for agents that
+    /// never show up hot in a profile.
+    fn kind_name(&self) -> &'static str {
+        "agent"
+    }
+
     /// Downcasting hook for inspection.
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
@@ -140,6 +151,9 @@ pub trait Agent {
 pub struct NullAgent;
 
 impl Agent for NullAgent {
+    fn kind_name(&self) -> &'static str {
+        "null"
+    }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
@@ -186,6 +200,26 @@ enum EventKind {
     },
 }
 
+/// The profiler's attribution class for an event (the public face of the
+/// private [`EventKind`]).
+fn event_class(kind: &EventKind) -> EventClass {
+    match kind {
+        EventKind::Arrival { .. } => EventClass::Arrival,
+        EventKind::Timer { .. } => EventClass::Timer,
+        EventKind::LinkChange { .. } => EventClass::LinkChange,
+        EventKind::NodeChange { .. } => EventClass::NodeChange,
+        EventKind::LossChange { .. } => EventClass::LossChange,
+    }
+}
+
+/// The node an event dispatches into, when it has one.
+fn event_node(kind: &EventKind) -> Option<NodeId> {
+    match kind {
+        EventKind::Arrival { node, .. } | EventKind::Timer { node, .. } => Some(*node),
+        _ => None,
+    }
+}
+
 /// Everything an [`Agent`] can see and do. Borrowed views into the engine,
 /// scoped to the node being dispatched.
 pub struct Ctx<'a> {
@@ -227,9 +261,11 @@ struct World {
     /// Temporary per-link loss-probability overrides (loss bursts).
     loss_override: HashMap<LinkId, f64>,
     /// Structured event capture (`None` = tracing disabled, the default).
-    trace: Option<TraceBuffer>,
+    trace: Option<Tracer>,
     /// Time-series metrics (`None` = disabled, the default).
     metrics: Option<Metrics>,
+    /// Engine self-profiler (`None` = disabled, the default).
+    prof: Option<Profiler>,
     /// Next fresh [`PacketId`]. Always assigned (cheap) so enabling tracing
     /// mid-run or between identical runs never shifts ids.
     next_packet_id: u64,
@@ -245,10 +281,20 @@ impl World {
         }
     }
 
-    /// Record a trace event if tracing is enabled (filters applied inside).
+    /// Record a trace event if tracing is enabled (filters and causal
+    /// sampling applied inside; packet events carry their own root).
     fn trace_push(&mut self, kind: TraceKind) {
         if let Some(t) = &mut self.trace {
             t.push(self.now, kind);
+        }
+    }
+
+    /// Like [`trace_push`](Self::trace_push) for rootless records (protocol
+    /// events): sampled by the causal root of the arrival being dispatched,
+    /// if any, so a kept chain keeps the counter bumps it caused.
+    fn trace_push_ambient(&mut self, kind: TraceKind) {
+        if let Some(t) = &mut self.trace {
+            t.push_caused(self.now, kind, self.cause.map(|c| c.root));
         }
     }
 
@@ -261,19 +307,16 @@ impl World {
         if let Some(m) = &mut self.metrics {
             m.on_count(self.now, key, delta);
         }
-        if let Some(t) = &mut self.trace {
-            t.push(
-                self.now,
-                TraceKind::Proto {
-                    node,
-                    event: ProtoEvent {
-                        name: Cow::Borrowed(key),
-                        channel: None,
-                        value: Some(delta),
-                        detail: None,
-                    },
+        if self.trace.is_some() {
+            self.trace_push_ambient(TraceKind::Proto {
+                node,
+                event: ProtoEvent {
+                    name: Cow::Borrowed(key),
+                    channel: None,
+                    value: Some(delta),
+                    detail: None,
                 },
-            );
+            });
         }
     }
 
@@ -287,19 +330,16 @@ impl World {
             if let Some(m) = &mut self.metrics {
                 m.on_count(self.now, name.as_ref(), delta);
             }
-            if let Some(t) = &mut self.trace {
-                t.push(
-                    self.now,
-                    TraceKind::Proto {
-                        node,
-                        event: ProtoEvent {
-                            name,
-                            channel: None,
-                            value: Some(delta),
-                            detail: None,
-                        },
+            if self.trace.is_some() {
+                self.trace_push_ambient(TraceKind::Proto {
+                    node,
+                    event: ProtoEvent {
+                        name,
+                        channel: None,
+                        value: Some(delta),
+                        detail: None,
                     },
-                );
+                });
             }
         }
     }
@@ -317,19 +357,16 @@ impl World {
                 let full = self.stats.name_of(id).clone();
                 m.on_count(self.now, full.as_ref(), delta);
             }
-            if let Some(t) = &mut self.trace {
-                t.push(
-                    self.now,
-                    TraceKind::Proto {
-                        node,
-                        event: ProtoEvent {
-                            name: Cow::Borrowed(base),
-                            channel: Some(channel.to_string()),
-                            value: Some(delta),
-                            detail: None,
-                        },
+            if self.trace.is_some() {
+                self.trace_push_ambient(TraceKind::Proto {
+                    node,
+                    event: ProtoEvent {
+                        name: Cow::Borrowed(base),
+                        channel: Some(channel.to_string()),
+                        value: Some(delta),
+                        detail: None,
                     },
-                );
+                });
             }
         }
     }
@@ -345,19 +382,16 @@ impl World {
             if let Some(m) = &mut self.metrics {
                 m.on_count(self.now, &format!("{base}{{chan={chan}}}"), delta);
             }
-            if let Some(t) = &mut self.trace {
-                t.push(
-                    self.now,
-                    TraceKind::Proto {
-                        node,
-                        event: ProtoEvent {
-                            name: Cow::Borrowed(base),
-                            channel: Some(chan),
-                            value: Some(delta),
-                            detail: None,
-                        },
+            if self.trace.is_some() {
+                self.trace_push_ambient(TraceKind::Proto {
+                    node,
+                    event: ProtoEvent {
+                        name: Cow::Borrowed(base),
+                        channel: Some(chan),
+                        value: Some(delta),
+                        detail: None,
                     },
-                );
+                });
             }
         }
     }
@@ -461,12 +495,13 @@ impl<'a> Ctx<'a> {
     pub fn trace(&mut self, name: &'static str, build: impl FnOnce(ProtoEvent) -> ProtoEvent) {
         let node = self.node;
         if let Some(t) = &mut self.world.trace {
-            if t.config().level.includes(TraceLevel::PROTOCOL) {
+            if t.level_on(TraceLevel::PROTOCOL) {
                 let event = build(ProtoEvent {
                     name: Cow::Borrowed(name),
                     ..ProtoEvent::default()
                 });
-                t.push(self.world.now, TraceKind::Proto { node, event });
+                let ambient = self.world.cause.map(|c| c.root);
+                t.push_caused(self.world.now, TraceKind::Proto { node, event }, ambient);
             }
         }
     }
@@ -618,6 +653,7 @@ impl<'a> Ctx<'a> {
                 self.world.trace_push(TraceKind::PacketDrop {
                     link,
                     id,
+                    root,
                     reason: DropReason::Loss,
                     class,
                 });
@@ -700,6 +736,7 @@ impl Sim {
                 loss_override: HashMap::new(),
                 trace: None,
                 metrics: None,
+                prof: None,
                 next_packet_id: 0,
                 cause: None,
             },
@@ -751,22 +788,55 @@ impl Sim {
         &mut self.world.stats
     }
 
-    /// Turn on structured event tracing with the given capture
-    /// configuration (replaces any previous trace). Tracing is off by
-    /// default and, when off, adds no counter or per-link overhead.
+    /// Turn on structured event tracing into the default in-memory ring
+    /// with the given capture configuration (replaces any previous trace).
+    /// Tracing is off by default and, when off, adds no counter or per-link
+    /// overhead.
     pub fn enable_trace(&mut self, cfg: TraceConfig) {
-        self.world.trace = Some(TraceBuffer::new(cfg));
+        self.world.trace = Some(Tracer::ring(cfg));
     }
 
-    /// The captured trace, if tracing is enabled.
+    /// Turn on structured event tracing into an explicit [`TraceSink`] —
+    /// e.g. a [`JsonlSink`](crate::trace::JsonlSink) streaming a full-scale
+    /// run to disk in bounded memory. Filters and causal sampling from
+    /// `cfg` apply before events reach the sink. Recover the sink with
+    /// [`finish_trace`](Self::finish_trace).
+    pub fn enable_trace_sink(&mut self, cfg: TraceConfig, sink: Box<dyn TraceSink>) {
+        self.world.trace = Some(Tracer::new(cfg, sink));
+    }
+
+    /// The captured in-memory trace, if tracing is enabled *and* backed by
+    /// the default ring (`None` under a custom sink — use
+    /// [`tracer`](Self::tracer) for sink-agnostic access).
     pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.world.trace.as_ref().and_then(|t| t.buffer())
+    }
+
+    /// The active tracer (filters + sink), if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
         self.world.trace.as_ref()
     }
 
-    /// Detach the captured trace (tracing stops), e.g. to export it after
-    /// a run.
+    /// The active tracer, mutably (e.g. to flush its sink mid-run).
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.world.trace.as_mut()
+    }
+
+    /// Detach the captured ring trace (tracing stops), e.g. to export it
+    /// after a run. `None` when tracing is off or backed by a custom sink
+    /// (then use [`finish_trace`](Self::finish_trace)).
     pub fn take_trace(&mut self) -> Option<TraceBuffer> {
-        self.world.trace.take()
+        let tracer = self.world.trace.take()?;
+        match tracer.finish().into_any().downcast::<TraceBuffer>() {
+            Ok(buffer) => Some(*buffer),
+            Err(_) => None,
+        }
+    }
+
+    /// Finalize the capture (footer + flush via [`TraceSink::finish`]) and
+    /// detach the sink, whatever its concrete type. Tracing stops.
+    pub fn finish_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.world.trace.take().map(Tracer::finish)
     }
 
     /// Turn on time-series metrics with the given configuration (replaces
@@ -783,6 +853,28 @@ impl Sim {
     /// Mutable metrics (for harness-level gauges and histograms).
     pub fn metrics_mut(&mut self) -> Option<&mut Metrics> {
         self.world.metrics.as_mut()
+    }
+
+    /// Turn on the engine self-profiler (replaces any previous profiler;
+    /// off by default — when off, one branch per event). Event counts per
+    /// [`EventClass`] are exact; wall-time attribution is *sampled* (one
+    /// event in [`ProfConfig::sample_every`]) to bound overhead. Wheel and
+    /// queue gauges are snapshotted every [`ProfConfig::gauge_every`]
+    /// events and, when metrics are also enabled, mirrored into `prof.*`
+    /// gauge series.
+    pub fn enable_prof(&mut self, cfg: ProfConfig) {
+        let nodes = self.world.topo.node_count();
+        self.world.prof = Some(Profiler::new(cfg, nodes));
+    }
+
+    /// The engine self-profiler, if enabled.
+    pub fn prof(&self) -> Option<&Profiler> {
+        self.world.prof.as_ref()
+    }
+
+    /// Detach the profiler (profiling stops), e.g. to render its report.
+    pub fn take_prof(&mut self) -> Option<Profiler> {
+        self.world.prof.take()
     }
 
     /// Unicast routing (for harness-level queries like path lengths).
@@ -866,6 +958,11 @@ impl Sim {
         for i in 0..self.agents.len() {
             self.with_agent(NodeId(i as u32), |agent, ctx| agent.on_start(ctx));
         }
+        // Setup (construction + on_start sweep) ends here; what follows is
+        // the run phase.
+        if let Some(p) = &mut self.world.prof {
+            p.mark_run_start();
+        }
     }
 
     fn with_agent<F: FnOnce(&mut dyn Agent, &mut Ctx<'_>)>(&mut self, node: NodeId, f: F) {
@@ -889,6 +986,49 @@ impl Sim {
         debug_assert!(at >= self.world.now, "time must be monotone");
         self.world.now = at;
         self.world.events_processed += 1;
+        if self.world.prof.is_none() {
+            // Fast path: profiling off costs exactly this branch.
+            self.dispatch_event(kind);
+            return true;
+        }
+        let class = event_class(&kind);
+        let node = event_node(&kind);
+        let t0 = self.world.prof.as_mut().expect("prof on").event_begin();
+        self.dispatch_event(kind);
+        let agent = node
+            .and_then(|n| self.agents[n.index()].as_ref())
+            .map(|a| a.kind_name());
+        let World {
+            prof,
+            queue,
+            metrics,
+            now,
+            ..
+        } = &mut self.world;
+        if let Some(p) = prof {
+            p.event_end(class, node, agent, t0);
+            if p.gauge_due() {
+                let g = WheelGauges {
+                    occupied_slots: queue.occupied_slots(),
+                    inbox: queue.inbox_len(),
+                    overflow: queue.overflow_len(),
+                    current_run: queue.current_len(),
+                };
+                p.record_gauges(*now, queue.len(), g);
+                if let Some(m) = metrics {
+                    m.gauge(*now, "prof.queue_depth", queue.len() as u64);
+                    m.gauge(*now, "prof.wheel_occupied_slots", g.occupied_slots as u64);
+                    m.gauge(*now, "prof.wheel_inbox", g.inbox as u64);
+                    m.gauge(*now, "prof.wheel_overflow", g.overflow as u64);
+                }
+            }
+        }
+        true
+    }
+
+    /// The event dispatch body (shared by the profiled and unprofiled
+    /// paths of [`step`](Self::step)).
+    fn dispatch_event(&mut self, kind: EventKind) {
         match kind {
             EventKind::Arrival {
                 node,
@@ -907,21 +1047,23 @@ impl Sim {
                         self.world.trace_push(TraceKind::PacketDrop {
                             link: l,
                             id,
+                            root,
                             reason: DropReason::NodeDown,
                             class,
                         });
                     }
-                    return true;
+                    return;
                 }
                 if let Some(l) = link {
                     if !self.world.topo.link_up(l) {
                         self.world.trace_push(TraceKind::PacketDrop {
                             link: l,
                             id,
+                            root,
                             reason: DropReason::LinkDown,
                             class,
                         });
-                        return true;
+                        return;
                     }
                 }
                 let age = self.world.now - root_at;
@@ -941,14 +1083,14 @@ impl Sim {
                 // Timers from before a crash die with the agent that set
                 // them; a down node runs nothing.
                 if self.world.node_down[node.index()] || self.world.node_epoch[node.index()] != epoch {
-                    return true;
+                    return;
                 }
                 self.world.trace_push(TraceKind::TimerFire { node, token });
                 self.with_agent(node, |agent, ctx| agent.on_timer(ctx, token));
             }
             EventKind::LinkChange { link, up } => {
                 if self.world.topo.link_up(link) == up {
-                    return true;
+                    return;
                 }
                 self.world.topo.set_link_up(link, up);
                 if up {
@@ -985,7 +1127,6 @@ impl Sim {
                 }
             },
         }
-        true
     }
 
     /// Deliver `change` to every live agent, then run the

@@ -37,6 +37,7 @@ pub mod engine;
 pub mod faults;
 pub mod id;
 pub mod metrics;
+pub mod prof;
 pub mod routing;
 pub mod stats;
 pub mod time;
@@ -54,4 +55,8 @@ pub use id::{IfaceId, LinkId, NodeId};
 pub use metrics::{CounterSnapshot, Histogram, Metrics, MetricsConfig};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkSpec, NodeKind, Topology};
-pub use trace::{PacketId, PacketPath, ProtoEvent, TraceBuffer, TraceConfig, TraceEvent, TraceKind, TraceLevel};
+pub use prof::{EventClass, ProfConfig, ProfReport, Profiler, WheelGauges};
+pub use trace::{
+    parse_flat_json_object, JsonlSink, PacketId, PacketPath, ProtoEvent, SampleSpec, TraceBuffer,
+    TraceConfig, TraceEvent, TraceKind, TraceLevel, TraceMeta, TraceSink, Tracer,
+};

@@ -107,7 +107,9 @@ impl Histogram {
         let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
         self.count += 1;
-        self.sum += value;
+        // Saturate rather than overflow: a pathological observation (e.g.
+        // u64::MAX) must not poison the histogram or panic in debug builds.
+        self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -466,6 +468,50 @@ mod tests {
         assert_eq!(h.quantile_bound(0.0), Some(10));
         assert_eq!(h.quantile_bound(1.0), None); // lands in overflow
         assert!(Histogram::new(vec![1]).quantile_bound(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_boundary_buckets() {
+        // Exact edges are inclusive on the bucket's upper bound: a value
+        // equal to a bound lands in that bucket, one past it in the next.
+        let mut h = Histogram::new(vec![10, 100]);
+        h.observe(10);
+        h.observe(11);
+        h.observe(100);
+        h.observe(101); // overflow
+        let buckets: Vec<(Option<u64>, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(Some(10), 1), (Some(100), 2), (None, 1)]);
+
+        // Underflow: zero and anything below the first bound land in the
+        // first bucket; min/max/sum still track the raw values.
+        let mut h = Histogram::new(vec![10, 100]);
+        h.observe(0);
+        h.observe(1);
+        let buckets: Vec<(Option<u64>, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(Some(10), 2), (Some(100), 0), (None, 0)]);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.sum(), 1);
+
+        // Overflow only: every observation past the last bound is counted,
+        // quantiles all report overflow (None), and max still bounds them.
+        let mut h = Histogram::new(vec![10, 100]);
+        h.observe(u64::MAX);
+        h.observe(101);
+        let buckets: Vec<(Option<u64>, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(Some(10), 0), (Some(100), 0), (None, 2)]);
+        assert_eq!(h.quantile_bound(0.0), None);
+        assert_eq!(h.quantile_bound(1.0), None);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of overflowing");
+
+        // Degenerate geometry: an empty bounds list is a single overflow
+        // bucket; counts and stats still work.
+        let mut h = Histogram::new(Vec::new());
+        h.observe(7);
+        let buckets: Vec<(Option<u64>, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(None, 1)]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Some(7.0));
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Structured event tracing: a zero-cost-when-disabled stream of engine and
-//! protocol events captured into an in-memory ring.
+//! protocol events captured through a pluggable [`TraceSink`].
 //!
 //! The paper's evaluation is observational — §5.3 prices control bandwidth,
 //! Figure 8 counts messages, §3.3's count mechanism doubles as a
@@ -20,6 +20,34 @@
 //!   is also mirrored as a protocol event, so existing instrumentation
 //!   shows up in timelines for free.
 //!
+//! # Sinks
+//!
+//! Admitted events flow into a [`TraceSink`]. Two are provided:
+//!
+//! * [`TraceBuffer`] — the bounded in-memory ring (the original backend and
+//!   still the default via
+//!   [`Sim::enable_trace`](crate::engine::Sim::enable_trace)). When full it
+//!   overwrites oldest-first and counts what it lost ([`TraceSink::discarded`],
+//!   surfaced in the JSONL header).
+//! * [`JsonlSink`] — a buffered write-through JSON Lines stream (file or any
+//!   `io::Write`), so multi-million-event runs can be captured end-to-end in
+//!   bounded memory. Attach with
+//!   [`Sim::enable_trace_sink`](crate::engine::Sim::enable_trace_sink).
+//!
+//! # Deterministic causal sampling
+//!
+//! At full scale even a streaming sink produces unwieldy captures; the
+//! interesting unit is the *causal chain* (one original send plus every
+//! forwarded copy), not the individual event. [`TraceConfig::sample_one_in`]
+//! keeps or drops whole chains by hashing the chain's **root packet id**:
+//! a chain is kept iff `splitmix64(root ^ salt) % n == 0`. Packet ids are
+//! assigned deterministically and unconditionally by the engine, so two
+//! same-seed runs keep exactly the same chains and emit **byte-identical**
+//! sampled output — the same determinism contract the golden fault-storm
+//! replay pins for unsampled traces. Events with no causal root (timer
+//! fires, topology changes, protocol events emitted outside a packet
+//! dispatch) are always kept.
+//!
 //! Tracing is **off by default**: a disabled trace adds one branch per
 //! event site and never perturbs [`crate::stats::Stats`] (pinned by the
 //! `tracing_does_not_perturb_stats` test in `express`). Enable with
@@ -34,6 +62,11 @@ use crate::stats::TrafficClass;
 use crate::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Write as _;
+
+/// Trace schema version written in the `trace_header` line. Version 2 added
+/// the header/footer lines themselves, the `root` field on drop records and
+/// the `sample` denominator.
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
 /// Identifies one transmitted frame (one `Ctx::send` call). Copies of the
 /// same frame delivered to several LAN endpoints share the id.
@@ -159,6 +192,9 @@ pub enum TraceKind {
         link: LinkId,
         /// The frame's id.
         id: PacketId,
+        /// The causal root of the chain this frame belongs to, so drops
+        /// survive causal sampling alongside the rest of their chain.
+        root: PacketId,
         /// Why.
         reason: DropReason,
         /// Data or control.
@@ -180,6 +216,22 @@ pub enum TraceKind {
         /// The event.
         event: ProtoEvent,
     },
+}
+
+impl TraceKind {
+    /// The causal-chain root this event belongs to, if it has one. Packet
+    /// tx/rx/drop records carry their root; timer fires, topology changes
+    /// and protocol events do not (protocol events emitted *during* a
+    /// packet dispatch are attributed to the ambient arrival's root by the
+    /// engine, not by the record itself).
+    pub fn root_id(&self) -> Option<PacketId> {
+        match self {
+            TraceKind::PacketTx { root, .. }
+            | TraceKind::PacketRx { root, .. }
+            | TraceKind::PacketDrop { root, .. } => Some(*root),
+            _ => None,
+        }
+    }
 }
 
 /// One trace record: when + what.
@@ -219,7 +271,44 @@ impl TraceLevel {
     }
 }
 
-/// Capture configuration: ring capacity and level / node / channel filters.
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit hash used for causal
+/// sampling. Stable across runs, platforms and versions (any change would
+/// silently re-select sampled chains, breaking golden comparisons).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic causal-chain sampling: keep a chain iff
+/// `splitmix64(root ^ salt) % denominator == 0`.
+///
+/// Because the decision is a pure function of the chain's root [`PacketId`]
+/// (assigned deterministically by the engine whether or not tracing is on),
+/// every event of a kept chain — tx, forwarded copies, deliveries, drops —
+/// survives together, and two same-seed runs keep identical chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSpec {
+    /// Keep one chain in `denominator` on average. `0` and `1` keep all.
+    pub denominator: u64,
+    /// Mixed into the hash so different captures can select different
+    /// chain subsets from the same run. Default `0`.
+    pub salt: u64,
+}
+
+impl SampleSpec {
+    /// Is the chain rooted at `root` kept?
+    pub fn keeps(&self, root: PacketId) -> bool {
+        if self.denominator <= 1 {
+            return true;
+        }
+        splitmix64(root.0 ^ self.salt).is_multiple_of(self.denominator)
+    }
+}
+
+/// Capture configuration: ring capacity, level / node / channel filters and
+/// optional causal sampling.
 #[derive(Debug, Clone)]
 pub struct TraceConfig {
     /// Maximum retained events; older events are overwritten (ring).
@@ -234,6 +323,9 @@ pub struct TraceConfig {
     /// all). Protocol events *without* a channel label always pass; other
     /// event kinds are unaffected.
     pub channels: Option<BTreeSet<String>>,
+    /// Deterministic causal sampling (`None` = keep every chain). See
+    /// [`SampleSpec`].
+    pub sample: Option<SampleSpec>,
 }
 
 impl Default for TraceConfig {
@@ -243,6 +335,7 @@ impl Default for TraceConfig {
             level: TraceLevel::ALL,
             nodes: None,
             channels: None,
+            sample: None,
         }
     }
 }
@@ -271,6 +364,71 @@ impl TraceConfig {
     pub fn capacity(mut self, capacity: usize) -> Self {
         self.capacity = capacity.max(1);
         self
+    }
+
+    /// Keep one causal chain in `n` (deterministically, by root packet id).
+    /// `0` and `1` disable sampling.
+    pub fn sample_one_in(mut self, n: u64) -> Self {
+        self.sample = if n <= 1 {
+            None
+        } else {
+            Some(SampleSpec {
+                denominator: n,
+                salt: self.sample.map_or(0, |s| s.salt),
+            })
+        };
+        self
+    }
+
+    /// Salt the sampling hash (selects a different deterministic chain
+    /// subset). No effect unless [`sample_one_in`](Self::sample_one_in) is
+    /// also set.
+    pub fn sample_salt(mut self, salt: u64) -> Self {
+        if let Some(s) = &mut self.sample {
+            s.salt = salt;
+        }
+        self
+    }
+
+    /// Does `kind` pass the level / node / channel filters? (Sampling is
+    /// separate — see [`SampleSpec::keeps`] — because the sampling root may
+    /// be ambient rather than carried by the record.)
+    pub fn admits(&self, kind: &TraceKind) -> bool {
+        let level = match kind {
+            TraceKind::PacketTx { .. } | TraceKind::PacketRx { .. } | TraceKind::PacketDrop { .. } => {
+                TraceLevel::PACKETS
+            }
+            TraceKind::TimerFire { .. } => TraceLevel::TIMERS,
+            TraceKind::Topology(_) => TraceLevel::TOPOLOGY,
+            TraceKind::Proto { .. } => TraceLevel::PROTOCOL,
+        };
+        if !self.level.includes(level) {
+            return false;
+        }
+        if let Some(nodes) = &self.nodes {
+            let node = match kind {
+                TraceKind::PacketTx { node, .. }
+                | TraceKind::PacketRx { node, .. }
+                | TraceKind::TimerFire { node, .. }
+                | TraceKind::Proto { node, .. } => Some(*node),
+                TraceKind::PacketDrop { .. } | TraceKind::Topology(_) => None,
+            };
+            if let Some(n) = node {
+                if !nodes.contains(&n) {
+                    return false;
+                }
+            }
+        }
+        if let Some(channels) = &self.channels {
+            if let TraceKind::Proto { event, .. } = kind {
+                if let Some(c) = &event.channel {
+                    if !channels.contains(c) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 }
 
@@ -319,7 +477,55 @@ impl PacketPath {
     }
 }
 
-/// The in-memory event ring plus capture filters.
+// ---- sinks ---------------------------------------------------------------
+
+/// Where admitted trace events go. The engine filters (level / node /
+/// channel / sampling) *before* calling [`record`](Self::record), so a sink
+/// only ever sees events that should be kept — its job is retention.
+///
+/// Implementations must account for anything they fail to retain via
+/// [`discarded`](Self::discarded): ring overwrite, I/O errors — whatever
+/// the backend's loss mode is. The count is surfaced in export headers and
+/// by `trace_inspect`, so a truncated capture never looks complete.
+pub trait TraceSink {
+    /// The tracer configuration this sink is attached under. Called once by
+    /// [`Tracer::new`]; sinks that write self-describing output (e.g.
+    /// [`JsonlSink`]'s header line) capture what they need here.
+    fn on_attach(&mut self, _cfg: &TraceConfig) {}
+
+    /// Retain one event. Must not filter — that already happened.
+    fn record(&mut self, event: TraceEvent);
+
+    /// How many admitted events this sink failed to retain (ring
+    /// overwrites, write errors, …).
+    fn discarded(&self) -> u64 {
+        0
+    }
+
+    /// Push buffered output to the backend (no-op for in-memory sinks).
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Finalize the capture: write any trailer/footer and flush. Called by
+    /// [`Tracer::finish`]; safe to call more than once.
+    fn finish(&mut self) -> std::io::Result<()> {
+        self.flush()
+    }
+
+    /// Downcast support (e.g. recovering the [`TraceBuffer`] behind
+    /// [`Sim::trace`](crate::engine::Sim::trace)).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Consuming downcast support (e.g.
+    /// [`Sim::take_trace`](crate::engine::Sim::take_trace)).
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
+/// The in-memory event ring plus capture filters — the default sink.
 #[derive(Debug)]
 pub struct TraceBuffer {
     cfg: TraceConfig,
@@ -374,55 +580,28 @@ impl TraceBuffer {
         self.ring.iter()
     }
 
-    /// Does `kind` pass the configured filters?
-    fn admits(&self, kind: &TraceKind) -> bool {
-        let level = match kind {
-            TraceKind::PacketTx { .. } | TraceKind::PacketRx { .. } | TraceKind::PacketDrop { .. } => {
-                TraceLevel::PACKETS
-            }
-            TraceKind::TimerFire { .. } => TraceLevel::TIMERS,
-            TraceKind::Topology(_) => TraceLevel::TOPOLOGY,
-            TraceKind::Proto { .. } => TraceLevel::PROTOCOL,
-        };
-        if !self.cfg.level.includes(level) {
-            return false;
-        }
-        if let Some(nodes) = &self.cfg.nodes {
-            let node = match kind {
-                TraceKind::PacketTx { node, .. }
-                | TraceKind::PacketRx { node, .. }
-                | TraceKind::TimerFire { node, .. }
-                | TraceKind::Proto { node, .. } => Some(*node),
-                TraceKind::PacketDrop { .. } | TraceKind::Topology(_) => None,
-            };
-            if let Some(n) = node {
-                if !nodes.contains(&n) {
-                    return false;
-                }
-            }
-        }
-        if let Some(channels) = &self.cfg.channels {
-            if let TraceKind::Proto { event, .. } = kind {
-                if let Some(c) = &event.channel {
-                    if !channels.contains(c) {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
-    }
-
-    /// Record an event (subject to filters and the ring bound).
+    /// Record an event, applying this buffer's own filters and sampling —
+    /// standalone use in unit tests; under a [`Tracer`] the tracer filters
+    /// and the buffer's [`TraceSink::record`] stores unconditionally.
+    #[cfg(test)]
     pub(crate) fn push(&mut self, at: SimTime, kind: TraceKind) {
-        if !self.admits(&kind) {
+        if !self.cfg.admits(&kind) {
             return;
         }
+        if let (Some(s), Some(root)) = (self.cfg.sample, kind.root_id()) {
+            if !s.keeps(root) {
+                return;
+            }
+        }
+        self.store(TraceEvent { at, kind });
+    }
+
+    fn store(&mut self, event: TraceEvent) {
         if self.ring.len() >= self.cfg.capacity {
             self.ring.pop_front();
             self.overwritten += 1;
         }
-        self.ring.push_back(TraceEvent { at, kind });
+        self.ring.push_back(event);
     }
 
     // ---- queries ---------------------------------------------------------
@@ -496,11 +675,23 @@ impl TraceBuffer {
 
     // ---- JSONL export / import ------------------------------------------
 
-    /// Serialize the retained events as JSON Lines (one object per event,
-    /// schema in `docs/OBSERVABILITY.md`). Deterministic: two identical
-    /// runs produce byte-identical output.
+    /// Serialize the retained events as JSON Lines, preceded by a
+    /// `trace_header` line carrying the schema version, event count, the
+    /// ring's `discarded` count and the sampling denominator (schema in
+    /// `docs/OBSERVABILITY.md`). Deterministic: two identical runs produce
+    /// byte-identical output.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::with_capacity(self.ring.len() * 64);
+        let mut out = String::with_capacity(self.ring.len() * 64 + 96);
+        let _ = write!(
+            out,
+            "{{\"ev\":\"trace_header\",\"version\":{TRACE_SCHEMA_VERSION},\"source\":\"ring\",\"events\":{},\"discarded\":{}",
+            self.ring.len(),
+            self.overwritten
+        );
+        if let Some(s) = &self.cfg.sample {
+            let _ = write!(out, ",\"sample\":{}", s.denominator);
+        }
+        out.push_str("}\n");
         for e in &self.ring {
             write_jsonl_line(&mut out, e);
             out.push('\n');
@@ -509,10 +700,322 @@ impl TraceBuffer {
     }
 
     /// Parse events from JSON Lines previously produced by
-    /// [`to_jsonl`](Self::to_jsonl). Unknown lines are skipped; returns the
-    /// parsed events in order.
+    /// [`to_jsonl`](Self::to_jsonl) or streamed through a [`JsonlSink`].
+    /// Header / footer / unknown lines are skipped; returns the parsed
+    /// events in order. Use [`TraceMeta::parse`] to read the header.
     pub fn parse_jsonl(text: &str) -> Vec<TraceEvent> {
         text.lines().filter_map(parse_jsonl_line).collect()
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn record(&mut self, event: TraceEvent) {
+        self.store(event);
+    }
+
+    fn discarded(&self) -> u64 {
+        self.overwritten
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// A buffered write-through JSON Lines sink: events are serialized into an
+/// in-memory text buffer and written to the backend whenever the buffer
+/// exceeds ~64 KiB, so memory stays bounded no matter how many events the
+/// run produces. Write errors are counted as [`discarded`](TraceSink::discarded)
+/// events (never panicking mid-run) and surfaced in the footer.
+///
+/// The stream starts with a `trace_header` line (written when the sink is
+/// attached to a [`Tracer`], or lazily before the first event) and — once
+/// [`finish`](TraceSink::finish) runs — ends with a `trace_footer` line
+/// carrying the final event and discarded counts.
+pub struct JsonlSink<W: std::io::Write + 'static> {
+    out: W,
+    buf: String,
+    /// Flush threshold in bytes.
+    flush_at: usize,
+    /// Events currently serialized in `buf` (lost together on write error).
+    buf_events: u64,
+    events: u64,
+    discarded: u64,
+    header_written: bool,
+    sample: Option<SampleSpec>,
+    finished: bool,
+}
+
+/// Buffered bytes before a backend write (64 KiB).
+const JSONL_FLUSH_BYTES: usize = 64 * 1024;
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncating) `path` and stream the capture to it.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: std::io::Write + 'static> JsonlSink<W> {
+    /// Stream the capture to `out`.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            buf: String::with_capacity(JSONL_FLUSH_BYTES + 1024),
+            flush_at: JSONL_FLUSH_BYTES,
+            buf_events: 0,
+            events: 0,
+            discarded: 0,
+            header_written: false,
+            sample: None,
+            finished: false,
+        }
+    }
+
+    /// Events successfully handed to the backend or still buffered.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Recover the backend writer (after [`TraceSink::finish`]).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn write_header(&mut self) {
+        if self.header_written {
+            return;
+        }
+        self.header_written = true;
+        let _ = write!(
+            self.buf,
+            "{{\"ev\":\"trace_header\",\"version\":{TRACE_SCHEMA_VERSION},\"source\":\"stream\""
+        );
+        if let Some(s) = &self.sample {
+            let _ = write!(self.buf, ",\"sample\":{}", s.denominator);
+        }
+        self.buf.push_str("}\n");
+    }
+
+    fn drain_buf(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if self.out.write_all(self.buf.as_bytes()).is_err() {
+            self.discarded += self.buf_events;
+            self.events -= self.buf_events.min(self.events);
+        }
+        self.buf.clear();
+        self.buf_events = 0;
+    }
+}
+
+impl<W: std::io::Write + 'static> TraceSink for JsonlSink<W> {
+    fn on_attach(&mut self, cfg: &TraceConfig) {
+        self.sample = cfg.sample;
+        self.write_header();
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.write_header();
+        write_jsonl_line(&mut self.buf, &event);
+        self.buf.push('\n');
+        self.events += 1;
+        self.buf_events += 1;
+        if self.buf.len() >= self.flush_at {
+            self.drain_buf();
+        }
+    }
+
+    fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.drain_buf();
+        self.out.flush()
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        if !self.finished {
+            self.finished = true;
+            self.write_header();
+            self.drain_buf();
+            let _ = write!(
+                self.buf,
+                "{{\"ev\":\"trace_footer\",\"events\":{},\"discarded\":{}}}",
+                self.events, self.discarded
+            );
+            self.buf.push('\n');
+            self.drain_buf();
+        }
+        self.out.flush()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// The capture front-end the engine talks to: owns the [`TraceConfig`]
+/// (level / node / channel filters plus causal sampling) and forwards
+/// admitted events to its [`TraceSink`].
+pub struct Tracer {
+    cfg: TraceConfig,
+    sink: Box<dyn TraceSink>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("cfg", &self.cfg)
+            .field("discarded", &self.sink.discarded())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer filtering by `cfg` into `sink` (the sink's
+    /// [`on_attach`](TraceSink::on_attach) hook runs here).
+    pub fn new(cfg: TraceConfig, mut sink: Box<dyn TraceSink>) -> Self {
+        sink.on_attach(&cfg);
+        Tracer { cfg, sink }
+    }
+
+    /// A tracer capturing into a fresh in-memory ring configured by `cfg`.
+    pub fn ring(cfg: TraceConfig) -> Self {
+        let buffer = TraceBuffer::new(cfg.clone());
+        Tracer::new(cfg, Box::new(buffer))
+    }
+
+    /// The capture configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.cfg
+    }
+
+    /// Fast pre-check: is this event family captured at all?
+    pub fn level_on(&self, level: TraceLevel) -> bool {
+        self.cfg.level.includes(level)
+    }
+
+    /// The sink, for inspection (e.g. its `discarded` count).
+    pub fn sink(&self) -> &dyn TraceSink {
+        self.sink.as_ref()
+    }
+
+    /// The sink, mutably (e.g. to [`flush`](TraceSink::flush) mid-run).
+    pub fn sink_mut(&mut self) -> &mut dyn TraceSink {
+        self.sink.as_mut()
+    }
+
+    /// The ring buffer behind this tracer, if that is what the sink is.
+    pub fn buffer(&self) -> Option<&TraceBuffer> {
+        self.sink.as_any().downcast_ref::<TraceBuffer>()
+    }
+
+    /// Finalize the capture ([`TraceSink::finish`]) and hand the sink back.
+    pub fn finish(mut self) -> Box<dyn TraceSink> {
+        let _ = self.sink.finish();
+        self.sink
+    }
+
+    /// Record an event whose sampling root (if any) is carried by the
+    /// record itself.
+    pub(crate) fn push(&mut self, at: SimTime, kind: TraceKind) {
+        self.push_caused(at, kind, None);
+    }
+
+    /// Record an event, sampling by the record's own root or — for rootless
+    /// records like protocol events — by `ambient_root` (the arrival being
+    /// dispatched when the event fired). Events with no root at all always
+    /// pass sampling.
+    pub(crate) fn push_caused(&mut self, at: SimTime, kind: TraceKind, ambient_root: Option<PacketId>) {
+        if !self.cfg.admits(&kind) {
+            return;
+        }
+        if let Some(s) = self.cfg.sample {
+            if let Some(root) = kind.root_id().or(ambient_root) {
+                if !s.keeps(root) {
+                    return;
+                }
+            }
+        }
+        self.sink.record(TraceEvent { at, kind });
+    }
+}
+
+// ---- header / footer metadata -------------------------------------------
+
+/// Metadata parsed from a capture's `trace_header` / `trace_footer` lines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Schema version from the header.
+    pub version: u64,
+    /// `"ring"` (exported from a [`TraceBuffer`]) or `"stream"` (a
+    /// [`JsonlSink`] capture).
+    pub source: String,
+    /// Total events in the capture, when the header or footer recorded it.
+    pub events: Option<u64>,
+    /// Events the sink failed to retain (ring overwrite / write errors).
+    /// Nonzero means the capture is **incomplete**.
+    pub discarded: Option<u64>,
+    /// Causal-sampling denominator (`1/n` chains kept), if sampling was on.
+    pub sample: Option<u64>,
+}
+
+impl TraceMeta {
+    /// Extract capture metadata from JSONL text: the `trace_header` line
+    /// (scanned near the top) plus, for streamed captures, the
+    /// `trace_footer` (scanned from the bottom) which carries the final
+    /// counts. Returns `None` for pre-v2 captures with no header.
+    pub fn parse(text: &str) -> Option<TraceMeta> {
+        let mut meta: Option<TraceMeta> = None;
+        for line in text.lines().take(8) {
+            let Some(m) = parse_flat_json_object(line) else { continue };
+            if m.get("ev").map(String::as_str) == Some("trace_header") {
+                let get = |k: &str| m.get(k).and_then(|v| v.parse::<u64>().ok());
+                meta = Some(TraceMeta {
+                    version: get("version").unwrap_or(0),
+                    source: m.get("source").cloned().unwrap_or_default(),
+                    events: get("events"),
+                    discarded: get("discarded"),
+                    sample: get("sample"),
+                });
+                break;
+            }
+        }
+        let mut meta = meta?;
+        for line in text.lines().rev().take(8) {
+            let Some(m) = parse_flat_json_object(line) else { continue };
+            if m.get("ev").map(String::as_str) == Some("trace_footer") {
+                let get = |k: &str| m.get(k).and_then(|v| v.parse::<u64>().ok());
+                if let Some(e) = get("events") {
+                    meta.events = Some(e);
+                }
+                if let Some(d) = get("discarded") {
+                    meta.discarded = Some(d);
+                }
+                break;
+            }
+        }
+        Some(meta)
     }
 }
 
@@ -581,12 +1084,19 @@ fn write_jsonl_line(out: &mut String, e: &TraceEvent) {
                 class_str(*class)
             );
         }
-        TraceKind::PacketDrop { link, id, reason, class } => {
+        TraceKind::PacketDrop {
+            link,
+            id,
+            root,
+            reason,
+            class,
+        } => {
             let _ = write!(
                 out,
-                "{{\"t\":{t},\"ev\":\"drop\",\"link\":{},\"id\":{},\"reason\":\"{}\",\"class\":\"{}\"}}",
+                "{{\"t\":{t},\"ev\":\"drop\",\"link\":{},\"id\":{},\"root\":{},\"reason\":\"{}\",\"class\":\"{}\"}}",
                 link.0,
                 id.0,
+                root.0,
                 reason.as_str(),
                 class_str(*class)
             );
@@ -620,9 +1130,11 @@ fn write_jsonl_line(out: &mut String, e: &TraceEvent) {
     }
 }
 
-/// A minimal flat-object JSON parser for the schema written by
-/// [`TraceBuffer::to_jsonl`]: one level deep, string / integer values only.
-fn parse_flat_object(line: &str) -> Option<BTreeMap<String, String>> {
+/// A minimal flat-object JSON parser for the line schemas this workspace
+/// writes (trace JSONL, `prof_report` JSON, bench baselines): one object
+/// per line, one level deep, string / integer values only. Returns `None`
+/// on anything that is not a flat object.
+pub fn parse_flat_json_object(line: &str) -> Option<BTreeMap<String, String>> {
     let line = line.trim();
     let inner = line.strip_prefix('{')?.strip_suffix('}')?;
     let mut map = BTreeMap::new();
@@ -644,7 +1156,7 @@ fn parse_flat_object(line: &str) -> Option<BTreeMap<String, String>> {
         while i < bytes.len() && bytes[i] != b'"' {
             i += 1;
         }
-        let key = inner[key_start..i].to_string();
+        let key = inner.get(key_start..i)?.to_string();
         i += 1; // closing quote
         if i >= bytes.len() || bytes[i] != b':' {
             return None;
@@ -670,10 +1182,13 @@ fn parse_flat_object(line: &str) -> Option<BTreeMap<String, String>> {
                     i += 1;
                 } else {
                     // Multi-byte UTF-8: copy the whole char.
-                    let ch = inner[i..].chars().next()?;
+                    let ch = inner.get(i..)?.chars().next()?;
                     val.push(ch);
                     i += ch.len_utf8();
                 }
+            }
+            if i >= bytes.len() {
+                return None; // unterminated string (truncated line)
             }
             i += 1;
             map.insert(key, val);
@@ -682,14 +1197,14 @@ fn parse_flat_object(line: &str) -> Option<BTreeMap<String, String>> {
             while i < bytes.len() && bytes[i] != b',' {
                 i += 1;
             }
-            map.insert(key, inner[val_start..i].trim().to_string());
+            map.insert(key, inner.get(val_start..i)?.trim().to_string());
         }
     }
     Some(map)
 }
 
 fn parse_jsonl_line(line: &str) -> Option<TraceEvent> {
-    let m = parse_flat_object(line)?;
+    let m = parse_flat_json_object(line)?;
     let at = SimTime(m.get("t")?.parse().ok()?);
     let u64f = |k: &str| -> Option<u64> { m.get(k)?.parse().ok() };
     let class = || -> TrafficClass {
@@ -717,16 +1232,22 @@ fn parse_jsonl_line(line: &str) -> Option<TraceEvent> {
             age: SimDuration(u64f("age_us")?),
             class: class(),
         },
-        "drop" => TraceKind::PacketDrop {
-            link: LinkId(u64f("link")? as u32),
-            id: PacketId(u64f("id")?),
-            reason: match m.get("reason").map(String::as_str) {
-                Some("link_down") => DropReason::LinkDown,
-                Some("node_down") => DropReason::NodeDown,
-                _ => DropReason::Loss,
-            },
-            class: class(),
-        },
+        "drop" => {
+            let id = PacketId(u64f("id")?);
+            TraceKind::PacketDrop {
+                link: LinkId(u64f("link")? as u32),
+                id,
+                // v1 drops carried no root; fall back to the frame id so old
+                // captures still parse (path joins just lose drop hops).
+                root: u64f("root").map(PacketId).unwrap_or(id),
+                reason: match m.get("reason").map(String::as_str) {
+                    Some("link_down") => DropReason::LinkDown,
+                    Some("node_down") => DropReason::NodeDown,
+                    _ => DropReason::Loss,
+                },
+                class: class(),
+            }
+        }
         "timer" => TraceKind::TimerFire {
             node: NodeId(u64f("node")? as u32),
             token: u64f("token")?,
@@ -780,6 +1301,16 @@ mod tests {
             root: PacketId(root),
             age: SimDuration(500),
             class: TrafficClass::Data,
+        }
+    }
+
+    fn drop_kind(id: u64, root: u64, link: u32) -> TraceKind {
+        TraceKind::PacketDrop {
+            link: LinkId(link),
+            id: PacketId(id),
+            root: PacketId(root),
+            reason: DropReason::LinkDown,
+            class: TrafficClass::Control,
         }
     }
 
@@ -855,15 +1386,7 @@ mod tests {
         let mut b = TraceBuffer::new(TraceConfig::default());
         b.push(SimTime(5), tx(1, 1, None, 0, 2));
         b.push(SimTime(6), rx(1, 1, 3));
-        b.push(
-            SimTime(7),
-            TraceKind::PacketDrop {
-                link: LinkId(2),
-                id: PacketId(1),
-                reason: DropReason::LinkDown,
-                class: TrafficClass::Control,
-            },
-        );
+        b.push(SimTime(7), drop_kind(1, 1, 2));
         b.push(SimTime(8), TraceKind::TimerFire { node: NodeId(4), token: 99 });
         b.push(SimTime(9), TraceKind::Topology(TopologyChange::NodeDown(NodeId(2))));
         b.push(
@@ -877,9 +1400,174 @@ mod tests {
             },
         );
         let text = b.to_jsonl();
-        assert_eq!(text.lines().count(), 6);
+        // 6 events plus the trace_header line.
+        assert_eq!(text.lines().count(), 7);
+        assert!(text.starts_with("{\"ev\":\"trace_header\""));
         let parsed = TraceBuffer::parse_jsonl(&text);
         let original: Vec<TraceEvent> = b.events().cloned().collect();
         assert_eq!(parsed, original);
+        let meta = TraceMeta::parse(&text).expect("header parses");
+        assert_eq!(meta.version, TRACE_SCHEMA_VERSION);
+        assert_eq!(meta.source, "ring");
+        assert_eq!(meta.events, Some(6));
+        assert_eq!(meta.discarded, Some(0));
+        assert_eq!(meta.sample, None);
+    }
+
+    #[test]
+    fn header_surfaces_ring_overwrite() {
+        let mut b = TraceBuffer::new(TraceConfig::default().capacity(2));
+        for i in 0..5 {
+            b.push(SimTime(i), TraceKind::TimerFire { node: NodeId(0), token: i });
+        }
+        let meta = TraceMeta::parse(&b.to_jsonl()).unwrap();
+        assert_eq!(meta.events, Some(2));
+        assert_eq!(meta.discarded, Some(3));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_chain_complete() {
+        let spec = SampleSpec { denominator: 4, salt: 0 };
+        // Pure function of root: same answer every call.
+        for r in 0..256u64 {
+            assert_eq!(spec.keeps(PacketId(r)), spec.keeps(PacketId(r)));
+        }
+        // Roughly 1/4 of roots kept (well-mixed hash; loose bounds).
+        let kept = (0..4096u64).filter(|r| spec.keeps(PacketId(*r))).count();
+        assert!((700..1400).contains(&kept), "kept {kept}/4096 at 1/4");
+        // A different salt selects a different subset.
+        let salted = SampleSpec { denominator: 4, salt: 0xdead_beef };
+        assert!((0..4096u64).any(|r| spec.keeps(PacketId(r)) != salted.keeps(PacketId(r))));
+
+        // Chain completeness: a kept root keeps its tx, forwarded copies,
+        // rx and drops; a dropped root drops all of them.
+        let root = (0..u64::MAX).find(|r| spec.keeps(PacketId(*r))).unwrap();
+        let culled = (0..u64::MAX).find(|r| !spec.keeps(PacketId(*r))).unwrap();
+        let mut b = TraceBuffer::new(TraceConfig::default().sample_one_in(4));
+        for (i, r) in [(1u64, root), (2, culled)] {
+            b.push(SimTime(0), tx(i, r, None, 0, 0));
+            b.push(SimTime(1), rx(i, r, 1));
+            b.push(SimTime(1), tx(i + 10, r, Some(i), 1, 1));
+            b.push(SimTime(2), drop_kind(i + 10, r, 1));
+        }
+        assert_eq!(b.len(), 4);
+        assert!(b.events().all(|e| e.kind.root_id() == Some(PacketId(root))));
+        // Rootless events always pass sampling.
+        b.push(SimTime(3), TraceKind::TimerFire { node: NodeId(0), token: 1 });
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn sample_one_in_builder_normalizes() {
+        assert!(TraceConfig::default().sample_one_in(0).sample.is_none());
+        assert!(TraceConfig::default().sample_one_in(1).sample.is_none());
+        let cfg = TraceConfig::default().sample_one_in(1024).sample_salt(7);
+        assert_eq!(cfg.sample, Some(SampleSpec { denominator: 1024, salt: 7 }));
+    }
+
+    #[test]
+    fn jsonl_sink_streams_header_events_footer() {
+        let cfg = TraceConfig::default().sample_one_in(2);
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_attach(&cfg);
+        sink.record(TraceEvent { at: SimTime(1), kind: tx(1, 1, None, 0, 0) });
+        sink.record(TraceEvent { at: SimTime(2), kind: rx(1, 1, 1) });
+        sink.finish().unwrap();
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let meta = TraceMeta::parse(&text).expect("header+footer");
+        assert_eq!(meta.version, TRACE_SCHEMA_VERSION);
+        assert_eq!(meta.source, "stream");
+        assert_eq!(meta.sample, Some(2));
+        assert_eq!(meta.events, Some(2));
+        assert_eq!(meta.discarded, Some(0));
+        let events = TraceBuffer::parse_jsonl(&text);
+        assert_eq!(events.len(), 2);
+        assert!(text.lines().last().unwrap().contains("trace_footer"));
+    }
+
+    #[test]
+    fn jsonl_sink_bounds_memory() {
+        // Tiny flush threshold: the internal buffer must never grow past
+        // threshold + one serialized event.
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.flush_at = 256;
+        for i in 0..1000u64 {
+            sink.record(TraceEvent {
+                at: SimTime(i),
+                kind: TraceKind::TimerFire { node: NodeId(0), token: i },
+            });
+            assert!(sink.buf.len() < 256 + 128, "buffer grew to {}", sink.buf.len());
+        }
+        sink.finish().unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(TraceBuffer::parse_jsonl(&text).len(), 1000);
+    }
+
+    #[test]
+    fn tracer_routes_through_filters_and_sampling_into_sink() {
+        let cfg = TraceConfig::default().level(TraceLevel::PACKETS.with(TraceLevel::PROTOCOL)).sample_one_in(4);
+        let spec = cfg.sample.unwrap();
+        let root = (0..u64::MAX).find(|r| spec.keeps(PacketId(*r))).unwrap();
+        let culled = (0..u64::MAX).find(|r| !spec.keeps(PacketId(*r))).unwrap();
+        let mut tr = Tracer::ring(cfg);
+        tr.push(SimTime(0), tx(1, root, None, 0, 0));
+        tr.push(SimTime(0), tx(2, culled, None, 0, 0)); // sampled out
+        tr.push(SimTime(0), TraceKind::TimerFire { node: NodeId(0), token: 1 }); // level-filtered
+        let proto = |v: u64| TraceKind::Proto {
+            node: NodeId(0),
+            event: ProtoEvent { name: "x.y".into(), channel: None, value: Some(v), detail: None },
+        };
+        // Proto sampled by ambient root when supplied, kept otherwise.
+        tr.push_caused(SimTime(1), proto(1), Some(PacketId(root)));
+        tr.push_caused(SimTime(1), proto(2), Some(PacketId(culled)));
+        tr.push_caused(SimTime(1), proto(3), None);
+        let b = tr.buffer().unwrap();
+        assert_eq!(b.len(), 3);
+        let kinds: Vec<bool> = b.events().map(|e| matches!(e.kind, TraceKind::Proto { .. })).collect();
+        assert_eq!(kinds, vec![false, true, true]);
+    }
+
+    #[test]
+    fn parse_skips_malformed_lines() {
+        // A valid capture with hostile lines interleaved: truncated JSON,
+        // unterminated strings, bad escapes, wrong types, unknown events.
+        let mut good = TraceBuffer::new(TraceConfig::default());
+        good.push(SimTime(5), tx(1, 1, None, 0, 2));
+        good.push(SimTime(6), rx(1, 1, 3));
+        let mut text = good.to_jsonl();
+        for bad in [
+            "",                                          // blank
+            "{\"t\":5,\"ev\":\"pkt_tx\"",                // truncated: no closing brace
+            "{\"t\":6,\"ev\":\"pkt_rx\",\"node\":",      // truncated mid-value
+            "{\"t\":7,\"ev\":\"proto\",\"node\":1,\"name\":\"x", // unterminated string
+            "{\"t\":8,\"ev\":\"proto\",\"node\":1,\"name\":\"\\u12\"}", // bad \u escape
+            "{\"t\":9,\"ev\":\"warp\",\"node\":1}",      // unknown event type
+            "{\"t\":\"soon\",\"ev\":\"timer\",\"node\":1,\"token\":2}", // non-numeric t
+            "{\"t\":10,\"ev\":\"timer\",\"node\":1}",    // missing required field
+            "{\"t\":11,\"ev\":\"topo\",\"change\":\"melt\",\"entity\":3}", // unknown change
+            "not json at all",
+            "[1,2,3]",                                   // not an object
+        ] {
+            text.push_str(bad);
+            text.push('\n');
+        }
+        let parsed = TraceBuffer::parse_jsonl(&text);
+        assert_eq!(parsed.len(), 2);
+        let original: Vec<TraceEvent> = good.events().cloned().collect();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn parse_accepts_v1_drop_without_root() {
+        let line = "{\"t\":7,\"ev\":\"drop\",\"link\":2,\"id\":41,\"reason\":\"loss\",\"class\":\"data\"}";
+        let ev = parse_jsonl_line(line).expect("v1 drop parses");
+        match ev.kind {
+            TraceKind::PacketDrop { id, root, .. } => {
+                assert_eq!(id, PacketId(41));
+                assert_eq!(root, PacketId(41)); // falls back to the frame id
+            }
+            _ => panic!("wrong kind"),
+        }
     }
 }

@@ -190,6 +190,34 @@ impl<T> TimerWheel<T> {
         self.len == 0
     }
 
+    // ---- introspection (profiler gauges; see `netsim::prof`) -------------
+
+    /// Number of non-empty slots on the wheel proper — how spread out the
+    /// near-horizon workload is (popcount of the occupancy bitmap; cheap
+    /// relative to a gauge interval, not per-event).
+    pub fn occupied_slots(&self) -> usize {
+        self.occupancy.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Events in the behind-cursor merge heap (same-bucket re-arms pushed
+    /// mid-drain). Persistently high values mean agents re-arm into the
+    /// bucket being drained.
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Events parked past the horizon (long protocol refresh timers). Large
+    /// values relative to [`len`](Self::len) mean the configured horizon is
+    /// too short for the workload.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Events in the bucket currently being drained (the sorted run).
+    pub fn current_len(&self) -> usize {
+        self.current.len()
+    }
+
     #[inline]
     fn bucket_of(&self, at: SimTime) -> u64 {
         at.0 >> self.shift

@@ -251,6 +251,10 @@ impl Participant {
 }
 
 impl Agent for Participant {
+    fn kind_name(&self) -> &'static str {
+        "relay_participant"
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &Payload, _class: TrafficClass) {
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         let payload = &bytes[ipv4::HEADER_LEN..ipv4::HEADER_LEN + header.payload_len];

@@ -206,6 +206,10 @@ impl SessionRelayHost {
 }
 
 impl Agent for SessionRelayHost {
+    fn kind_name(&self) -> &'static str {
+        "relay_host"
+    }
+
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.set_timer(self.heartbeat, 0);
     }

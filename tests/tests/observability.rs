@@ -10,7 +10,11 @@ use express_wire::addr::Channel;
 use netsim::stats::LinkStats;
 use netsim::time::{SimDuration, SimTime};
 use netsim::topology::LinkSpec;
-use netsim::{LinkId, MetricsConfig, NodeId, Sim, Topology, TraceConfig, TraceKind};
+use netsim::trace::{SampleSpec, TraceMeta};
+use netsim::{
+    JsonlSink, LinkId, MetricsConfig, NodeId, ProfConfig, Sim, Topology, TraceBuffer, TraceConfig,
+    TraceKind,
+};
 
 fn at_ms(ms: u64) -> SimTime {
     SimTime(ms * 1000)
@@ -128,17 +132,18 @@ fn express_data_never_leaves_the_tree() {
     assert!(sim.stats().link(on_tree).data_packets > 0);
 }
 
-/// Acceptance criterion: tracing + metrics disabled vs enabled changes no
-/// named counter and no per-link statistic — observability is pure
-/// observation.
+/// Acceptance criterion: tracing + metrics + causal sampling + the engine
+/// self-profiler disabled vs enabled changes no named counter and no
+/// per-link statistic — observability is pure observation.
 #[test]
 fn tracing_does_not_perturb_stats() {
     let observe = |instrumented: bool| -> (Vec<(String, u64)>, Vec<LinkStats>, u64) {
         let d = diamond();
         let (mut sim, _) = express_diamond(&d, 99, RouterConfig::default(), (100, 2_000));
         if instrumented {
-            sim.enable_trace(TraceConfig::default());
+            sim.enable_trace(TraceConfig::default().sample_one_in(2));
             sim.enable_metrics(MetricsConfig::default());
+            sim.enable_prof(ProfConfig::default().sample_every(4).gauge_every(64));
         }
         sim.run_until(at_ms(3_000));
         let named = sim.stats().named_counters().map(|(k, v)| (k.to_string(), v)).collect();
@@ -202,6 +207,158 @@ fn express_tcp_linkdown_reconvergence_within_failure_model_bound() {
         gaps.is_empty(),
         "delivery gap of 3+ stream periods around the fault: {gaps:?}"
     );
+}
+
+/// Run the diamond stream and return the full JSONL from a streaming
+/// [`JsonlSink`] over an in-memory writer, plus the engine's event count.
+fn run_streamed(seed: u64, cfg: TraceConfig) -> (String, u64) {
+    let d = diamond();
+    let (mut sim, _) = express_diamond(&d, seed, RouterConfig::default(), (100, 1_000));
+    sim.enable_trace_sink(cfg, Box::new(JsonlSink::new(Vec::new())));
+    sim.run_until(at_ms(1_500));
+    let events = sim.events_processed();
+    let mut sink = sim.finish_trace().expect("trace enabled");
+    sink.finish().expect("in-memory flush cannot fail");
+    let sink = sink
+        .into_any()
+        .downcast::<JsonlSink<Vec<u8>>>()
+        .expect("sink type unchanged");
+    (String::from_utf8(sink.into_inner()).unwrap(), events)
+}
+
+/// Strip `trace_header` / `trace_footer` lines, keeping event lines only.
+fn event_lines(jsonl: &str) -> Vec<&str> {
+    jsonl
+        .lines()
+        .filter(|l| !l.contains("\"ev\":\"trace_header\"") && !l.contains("\"ev\":\"trace_footer\""))
+        .collect()
+}
+
+/// The streaming JSONL sink is a lossless replacement for the ring: same
+/// run, same config ⇒ the streamed event lines equal the ring's export,
+/// and the footer accounting matches.
+#[test]
+fn jsonl_sink_streams_same_events_as_ring() {
+    let d = diamond();
+    let (mut sim, _) = express_diamond(&d, 11, RouterConfig::default(), (100, 1_000));
+    sim.enable_trace(TraceConfig::default());
+    sim.run_until(at_ms(1_500));
+    let ring_jsonl = sim.take_trace().expect("trace enabled").to_jsonl();
+
+    let (streamed, _) = run_streamed(11, TraceConfig::default());
+    assert_eq!(event_lines(&streamed), event_lines(&ring_jsonl));
+
+    let meta = TraceMeta::parse(&streamed).expect("stream has header/footer");
+    assert_eq!(meta.source, "stream");
+    assert_eq!(meta.events, Some(event_lines(&streamed).len() as u64));
+    assert_eq!(meta.discarded, Some(0));
+}
+
+/// The causal-sampling guarantee, end to end through the engine: same seed
+/// ⇒ byte-identical sampled streams; every kept chain is *complete* (all of
+/// the full trace's tx/rx records for that root, none for dropped roots);
+/// and kept data chains still reconstruct source→receiver paths.
+#[test]
+fn sampled_stream_is_deterministic_and_chains_complete() {
+    let cfg = || TraceConfig::default().sample_one_in(4);
+    let (a, _) = run_streamed(21, cfg());
+    let (b, _) = run_streamed(21, cfg());
+    assert_eq!(a, b, "same-seed sampled streams must be byte-identical");
+
+    let meta = TraceMeta::parse(&a).expect("header present");
+    assert_eq!(meta.sample, Some(4));
+
+    // Reference: the same run, unsampled.
+    let (full, _) = run_streamed(21, TraceConfig::default());
+    assert!(
+        event_lines(&a).len() < event_lines(&full).len(),
+        "sampling kept everything — not sampling"
+    );
+
+    // The sampled stream must be an ordered subsequence of the full one.
+    let mut full_iter = event_lines(&full).into_iter();
+    for line in event_lines(&a) {
+        assert!(
+            full_iter.any(|f| f == line),
+            "sampled line not in full trace (or out of order): {line}"
+        );
+    }
+
+    // Chain completeness: per root, the sampled capture has either all of
+    // the full trace's packet records or none — decided by the hash filter.
+    let spec = SampleSpec { denominator: 4, salt: 0 };
+    let root_counts = |jsonl: &str| -> std::collections::BTreeMap<u64, usize> {
+        let mut m = std::collections::BTreeMap::new();
+        for e in TraceBuffer::parse_jsonl(jsonl) {
+            if let Some(root) = e.kind.root_id() {
+                *m.entry(root.0).or_default() += 1;
+            }
+        }
+        m
+    };
+    let full_roots = root_counts(&full);
+    let sampled_roots = root_counts(&a);
+    assert!(!sampled_roots.is_empty(), "no chains survived 1/4 sampling");
+    for (&root, &n) in &full_roots {
+        let kept = spec.keeps(netsim::PacketId(root));
+        match sampled_roots.get(&root) {
+            Some(&m) => {
+                assert!(kept, "chain {root} kept but hash filter says drop");
+                assert_eq!(m, n, "chain {root} is incomplete in the sampled stream");
+            }
+            None => assert!(!kept, "chain {root} dropped but hash filter says keep"),
+        }
+    }
+
+    // Kept data chains still reconstruct full source→receiver paths.
+    let d = diamond();
+    let buf = TraceBuffer::from_events(TraceBuffer::parse_jsonl(&a));
+    let data_roots = buf.data_roots();
+    assert!(!data_roots.is_empty(), "no data chains in sampled capture");
+    for root in data_roots {
+        assert!(
+            buf.packet_path(root).receivers().contains(&d.rcv),
+            "sampled chain {root} does not reach the receiver"
+        );
+    }
+}
+
+/// Ring overwrite is no longer silent: an undersized ring reports its
+/// `discarded` count in the JSONL header.
+#[test]
+fn discarded_counter_surfaces_in_header() {
+    let d = diamond();
+    let (mut sim, _) = express_diamond(&d, 5, RouterConfig::default(), (100, 1_000));
+    sim.enable_trace(TraceConfig::default().capacity(64));
+    sim.run_until(at_ms(1_500));
+    let buf = sim.take_trace().expect("trace enabled");
+    assert!(buf.overwritten() > 0, "undersized ring should have overwritten");
+    let meta = TraceMeta::parse(&buf.to_jsonl()).expect("header present");
+    assert_eq!(meta.source, "ring");
+    assert_eq!(meta.events, Some(64));
+    assert_eq!(meta.discarded, Some(buf.overwritten()));
+}
+
+/// The engine self-profiler attributes every event: exact per-class counts
+/// sum to the engine's event total, agent attribution uses the protocol
+/// kind names, and the gauge timeline/wheel snapshots are populated.
+#[test]
+fn profiler_attributes_all_events() {
+    let d = diamond();
+    let (mut sim, _) = express_diamond(&d, 13, RouterConfig::default(), (100, 1_000));
+    sim.enable_prof(ProfConfig::default().sample_every(2).gauge_every(32));
+    sim.run_until(at_ms(1_500));
+    let events = sim.events_processed();
+    let report = sim.take_prof().expect("prof enabled").report();
+    assert_eq!(report.events, events, "profiler missed events");
+    let class_total: u64 = report.kinds.iter().map(|k| k.count).sum();
+    assert_eq!(class_total, events, "per-class counts must sum to the total");
+    let agent_names: Vec<&str> = report.agents.iter().map(|a| a.kind.as_str()).collect();
+    assert!(agent_names.contains(&"ecmp_router"), "missing router attribution: {agent_names:?}");
+    assert!(agent_names.contains(&"express_host"), "missing host attribution: {agent_names:?}");
+    assert!(!report.gauges.is_empty(), "gauge timeline empty");
+    assert!(report.peak_queue_depth > 0);
+    assert!(report.kinds.iter().any(|k| k.kind == "arrival" && k.est_total_ns > 0));
 }
 
 /// The trace records the fault schedule as it executed (topology events),
