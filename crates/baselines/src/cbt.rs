@@ -52,6 +52,9 @@ pub struct CbtRouter {
     trees: HashMap<Ipv4Addr, CbtState>,
     /// Experiment counters.
     pub counters: CbtCounters,
+    /// Interned handle for the per-packet forward counter (registered in
+    /// `on_start`; `forward_on_tree` bumps it by index).
+    hot_data_fwd: Option<netsim::CounterId>,
 }
 
 impl CbtRouter {
@@ -62,6 +65,7 @@ impl CbtRouter {
             members: MembershipDb::new(),
             trees: HashMap::new(),
             counters: CbtCounters::default(),
+            hot_data_fwd: None,
         }
     }
 
@@ -219,11 +223,12 @@ impl CbtRouter {
             return;
         }
         let out = util::patch_ttl(bytes, header.ttl - 1);
-        for i in util::iter_mask(out_mask) {
-            ctx.send_shared(i, out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
-        }
+        ctx.send_fanout(out_mask, &out, TrafficClass::Data, Reliability::Datagram);
         self.counters.data_forwarded += 1;
-        ctx.count("cbt.data_fwd", 1);
+        match self.hot_data_fwd {
+            Some(id) => ctx.count_id(id, 1),
+            None => ctx.count("cbt.data_fwd", 1),
+        }
     }
 
     fn handle_data(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &[u8], header: Ipv4Repr) {
@@ -256,6 +261,14 @@ impl CbtRouter {
 impl Agent for CbtRouter {
     fn kind_name(&self) -> &'static str {
         "cbt_router"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.hot_data_fwd = Some(ctx.counter("cbt.data_fwd"));
+    }
+
+    fn hot_packet_fn(&self) -> Option<netsim::HotPacketFn> {
+        Some(netsim::hot_packet_stub::<Self>())
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, class: TrafficClass) {

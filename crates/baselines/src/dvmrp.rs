@@ -13,7 +13,7 @@ use crate::util;
 use express_wire::addr::Ipv4Addr;
 use express_wire::dvmrp::DvmrpMessage;
 use express_wire::ipv4::{self, Ipv4Repr, Protocol};
-use netsim::engine::{Agent, Ctx, Payload, Reliability, TopologyChange, Tx};
+use netsim::engine::{Agent, Ctx, Payload, Reliability, TopologyChange};
 use netsim::id::IfaceId;
 use netsim::stats::TrafficClass;
 use netsim::time::{SimDuration, SimTime};
@@ -43,6 +43,9 @@ pub struct DvmrpRouter {
     prune_lifetime: SimDuration,
     /// Experiment counters.
     pub counters: DvmrpCounters,
+    /// Interned handle for the per-packet forward counter (registered in
+    /// `on_start`; the flood path bumps it by index).
+    hot_data_fwd: Option<netsim::CounterId>,
 }
 
 impl DvmrpRouter {
@@ -59,6 +62,7 @@ impl DvmrpRouter {
             pruned_upstream: HashMap::new(),
             prune_lifetime,
             counters: DvmrpCounters::default(),
+            hot_data_fwd: None,
         }
     }
 
@@ -146,11 +150,12 @@ impl DvmrpRouter {
         oifs |= self.members.member_mask(g) & !util::iface_bit(iface);
         if oifs != 0 {
             let out = util::patch_ttl(bytes, header.ttl - 1);
-            for i in util::iter_mask(oifs) {
-                ctx.send_shared(i, out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
-            }
+            ctx.send_fanout(oifs, &out, TrafficClass::Data, Reliability::Datagram);
             self.counters.data_forwarded += 1;
-            ctx.count("dvmrp.data_fwd", 1);
+            match self.hot_data_fwd {
+                Some(id) => ctx.count_id(id, 1),
+                None => ctx.count("dvmrp.data_fwd", 1),
+            }
         }
         // No interested parties below us and none locally ⇒ prune upstream.
         if oifs == 0 && self.members.member_mask(g) == 0 && !src_is_local {
@@ -242,6 +247,14 @@ impl Default for DvmrpRouter {
 impl Agent for DvmrpRouter {
     fn kind_name(&self) -> &'static str {
         "dvmrp_router"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.hot_data_fwd = Some(ctx.counter("dvmrp.data_fwd"));
+    }
+
+    fn hot_packet_fn(&self) -> Option<netsim::HotPacketFn> {
+        Some(netsim::hot_packet_stub::<Self>())
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, class: TrafficClass) {

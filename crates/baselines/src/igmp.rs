@@ -79,6 +79,8 @@ pub struct GroupHost {
     /// metric: v2 hosts count them as received, v3 hosts filter locally —
     /// either way the traffic crossed the link).
     pub filtered_out: u64,
+    /// Interned delivery counter (registered in `on_start`).
+    hot_data_rx: Option<netsim::CounterId>,
 }
 
 const ACTION_BASE: u64 = 1 << 32;
@@ -97,6 +99,7 @@ impl GroupHost {
             received: Vec::new(),
             reports_sent: 0,
             filtered_out: 0,
+            hot_data_rx: None,
         }
     }
 
@@ -228,6 +231,14 @@ impl Agent for GroupHost {
         "group_host"
     }
 
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.hot_data_rx = Some(ctx.counter("group.data_rx"));
+    }
+
+    fn hot_packet_fn(&self) -> Option<netsim::HotPacketFn> {
+        Some(netsim::hot_packet_stub::<Self>())
+    }
+
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &Payload, _class: TrafficClass) {
         let Ok(header) = Ipv4Repr::parse(bytes) else { return };
         let payload = &bytes[ipv4::HEADER_LEN..ipv4::HEADER_LEN + header.payload_len];
@@ -263,7 +274,10 @@ impl Agent for GroupHost {
                     if included {
                         self.received
                             .push((ctx.now(), header.dst, header.src, header.payload_len));
-                        ctx.count("group.data_rx", 1);
+                        match self.hot_data_rx {
+                            Some(id) => ctx.count_id(id, 1),
+                            None => ctx.count("group.data_rx", 1),
+                        }
                     } else {
                         // The packet still crossed the last-hop link; the v3
                         // filter only saves the application, not the link —

@@ -131,6 +131,9 @@ pub struct PimRouter {
     rpt_pruned: HashMap<(Ipv4Addr, Ipv4Addr), u32>,
     /// Experiment counters.
     pub counters: PimCounters,
+    /// Interned handle for the per-packet forward counter (registered in
+    /// `on_start`; `emit_data` bumps it by index).
+    hot_data_fwd: Option<netsim::CounterId>,
 }
 
 impl PimRouter {
@@ -144,6 +147,7 @@ impl PimRouter {
             sg_meta: HashMap::new(),
             rpt_pruned: HashMap::new(),
             counters: PimCounters::default(),
+            hot_data_fwd: None,
         }
     }
 
@@ -274,11 +278,12 @@ impl PimRouter {
             return;
         }
         let out = util::patch_ttl(bytes, header.ttl - 1);
-        for i in util::iter_mask(oifs) {
-            ctx.send_shared(i, out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
-        }
+        ctx.send_fanout(oifs, &out, TrafficClass::Data, Reliability::Datagram);
         self.counters.data_forwarded += 1;
-        ctx.count("pim.data_fwd", 1);
+        match self.hot_data_fwd {
+            Some(id) => ctx.count_id(id, 1),
+            None => ctx.count("pim.data_fwd", 1),
+        }
     }
 
     /// Handle a native multicast data packet.
@@ -484,7 +489,12 @@ impl Agent for PimRouter {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.hot_data_fwd = Some(ctx.counter("pim.data_fwd"));
         ctx.set_timer(self.cfg.join_refresh, TIMER_REFRESH);
+    }
+
+    fn hot_packet_fn(&self) -> Option<netsim::HotPacketFn> {
+        Some(netsim::hot_packet_stub::<Self>())
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, class: TrafficClass) {

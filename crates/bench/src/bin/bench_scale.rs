@@ -30,6 +30,8 @@
 //! cargo run --release -p express-bench --bin bench_scale -- --quick  # CI-size -> BENCH_scale.json
 //! cargo run --release -p express-bench --bin bench_scale -- --rebaseline
 //!                                  # full suite -> results/bench_scale_baseline.json
+//! cargo run --release -p express-bench --bin bench_scale -- --regression-check
+//!                                  # gate: fresh best-of-N vs BENCH_scale.json, exit 1 on regression
 //! ```
 //!
 //! A committed baseline (captured on the pre-optimization tree) lives at
@@ -127,6 +129,9 @@ impl Agent for AccountingSink {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.data_rx = Some(ctx.counter("sink.data_rx"));
+    }
+    fn hot_packet_fn(&self) -> Option<netsim::HotPacketFn> {
+        Some(netsim::hot_packet_stub::<Self>())
     }
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, bytes: &netsim::Payload, _class: TrafficClass) {
         let me = ctx.my_ip();
@@ -418,7 +423,12 @@ fn random_protocol(n_routers: usize, extra: usize, n_hosts: usize, meas_packets:
         sim.set_agent(r, Box::new(EcmpRouter::new(RouterConfig::default())));
     }
     for &h in &hosts {
-        sim.set_agent(h, Box::new(ExpressHost::new()));
+        // The benchmark reads `host.data_rx`, not the event log; logging
+        // every delivery would be the hosts' only steady-state allocation
+        // (Vec doubling across 1k hosts).
+        let mut host = ExpressHost::new();
+        host.set_data_event_logging(false);
+        sim.set_agent(h, Box::new(host));
     }
     // Staggered joins: one per simulated millisecond.
     for (i, &h) in hosts[1..].iter().enumerate() {
@@ -541,6 +551,171 @@ fn scenario_json(m: &Measurement, speedup: Option<f64>) -> String {
     s
 }
 
+/// One scenario's committed numbers of record, as read back from
+/// `BENCH_scale.json` (our own fixed-format JSON; no parser dependency).
+struct Record {
+    name: String,
+    subscribers: usize,
+    events_per_sec: f64,
+    peak_queue_depth: usize,
+    allocs_per_event: f64,
+    allocs_per_fwd: f64,
+}
+
+/// Extract the regression-gate fields for every scenario in a previously
+/// written `BENCH_scale.json`.
+fn parse_records(text: &str) -> Vec<Record> {
+    let mut out = Vec::new();
+    let mut cur: Option<Record> = None;
+    for line in text.lines() {
+        let l = line.trim().trim_end_matches(',');
+        if let Some(v) = l.strip_prefix("\"name\": \"") {
+            if let Some(r) = cur.take() {
+                out.push(r);
+            }
+            cur = Some(Record {
+                name: v.trim_end_matches('"').to_string(),
+                subscribers: 0,
+                events_per_sec: 0.0,
+                peak_queue_depth: 0,
+                allocs_per_event: 0.0,
+                allocs_per_fwd: 0.0,
+            });
+        } else if let Some(r) = cur.as_mut() {
+            if let Some(v) = l.strip_prefix("\"subscribers\": ") {
+                r.subscribers = v.parse().unwrap_or(0);
+            } else if let Some(v) = l.strip_prefix("\"events_per_sec\": ") {
+                r.events_per_sec = v.parse().unwrap_or(0.0);
+            } else if let Some(v) = l.strip_prefix("\"peak_queue_depth\": ") {
+                r.peak_queue_depth = v.parse().unwrap_or(0);
+            } else if let Some(v) = l.strip_prefix("\"allocs_per_event\": ") {
+                r.allocs_per_event = v.parse().unwrap_or(0.0);
+            } else if let Some(v) = l.strip_prefix("\"allocs_per_fwd\": ") {
+                r.allocs_per_fwd = v.parse().unwrap_or(0.0);
+            }
+        }
+    }
+    if let Some(r) = cur.take() {
+        out.push(r);
+    }
+    out
+}
+
+/// The perf-regression gate (`--regression-check`): re-run the full
+/// scenario set (best-of-N, same seeds) and compare each against the
+/// committed `BENCH_scale.json` numbers of record. Tolerances:
+///
+/// * `events_per_sec` ≥ 50% of record — wall-clock throughput is the one
+///   host-noise-sensitive figure, and on shared single-core hosts steal
+///   episodes alone halve it. Best-of-N picks the least-perturbed rep, a
+///   scenario that still misses the floor earns up to three *extra* reps
+///   (a genuinely slow build never passes; a stalled host gets more
+///   chances), and the deliberately coarse floor means a throughput
+///   failure is a real ≥2× regression, not scheduler weather.
+/// * `peak_queue_depth` ≤ 105% of record — deterministic per seed, so any
+///   real growth is a scheduling change, not noise.
+/// * `allocs_per_event` ≤ record + 0.005 and `allocs_per_fwd` ≤
+///   record + 0.5 — deterministic; pins the data path allocation-free
+///   (and the star-burst alloc fix, see PERFORMANCE.md). These noise-free
+///   checks carry the fine-grained regression-pinning weight.
+///
+/// Prints the core count so single-core results aren't misread, never
+/// rewrites `BENCH_scale.json`, and exits 1 on any violation.
+fn regression_check() {
+    const REPS: usize = 3;
+    const EXTRA_REPS: usize = 3;
+    const EVS_FLOOR: f64 = 0.50;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    eprintln!("bench_scale --regression-check: fresh best-of-{REPS} vs {OUT_PATH} (host: {cores} core(s))");
+    let records = match std::fs::read_to_string(OUT_PATH) {
+        Ok(t) => parse_records(&t),
+        Err(e) => {
+            eprintln!("REGRESSION GATE FAIL: cannot read {OUT_PATH}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let runners: Vec<Box<dyn Fn() -> Measurement>> = vec![
+        Box::new(|| star_fanout(100_000, 5, 20)),
+        Box::new(|| kary_scale(14, 2, 10)),
+        Box::new(|| kary_scale(20, 2, 5)),
+        Box::new(|| random_protocol(400, 150, 1_000, 100)),
+    ];
+    let mut failed = false;
+    for run in &runners {
+        let mut m = best_of(REPS, run);
+        let Some(r) = records
+            .iter()
+            .find(|r| r.name == m.name && r.subscribers == m.subscribers)
+        else {
+            eprintln!("REGRESSION GATE FAIL: {} has no number of record in {OUT_PATH}", m.name);
+            failed = true;
+            continue;
+        };
+        let mut ratio = m.events_per_sec / r.events_per_sec;
+        let mut extra = 0;
+        while ratio < EVS_FLOOR && extra < EXTRA_REPS {
+            extra += 1;
+            eprintln!(
+                "  {:<24} at {:.1}% of record after {} rep(s) — host steal suspected, rep {}",
+                m.name,
+                ratio * 100.0,
+                REPS + extra - 1,
+                REPS + extra
+            );
+            let again = run();
+            if again.events_per_sec > m.events_per_sec {
+                m = again;
+            }
+            ratio = m.events_per_sec / r.events_per_sec;
+        }
+        let peak_cap = (r.peak_queue_depth as f64 * 1.05) as usize;
+        let mut bad = Vec::new();
+        if ratio < EVS_FLOOR {
+            bad.push(format!(
+                "events_per_sec {:.0} is {:.1}% of the {:.0} record (floor {:.0}%)",
+                m.events_per_sec,
+                ratio * 100.0,
+                r.events_per_sec,
+                EVS_FLOOR * 100.0
+            ));
+        }
+        if m.peak_queue_depth > peak_cap {
+            bad.push(format!(
+                "peak_queue_depth {} > {} (105% of the {} record)",
+                m.peak_queue_depth, peak_cap, r.peak_queue_depth
+            ));
+        }
+        if m.allocs_per_event > r.allocs_per_event + 0.005 {
+            bad.push(format!(
+                "allocs_per_event {:.3} > record {:.3} + 0.005",
+                m.allocs_per_event, r.allocs_per_event
+            ));
+        }
+        if m.allocs_per_fwd > r.allocs_per_fwd + 0.5 {
+            bad.push(format!(
+                "allocs_per_fwd {:.3} > record {:.3} + 0.5",
+                m.allocs_per_fwd, r.allocs_per_fwd
+            ));
+        }
+        if bad.is_empty() {
+            eprintln!(
+                "  {:<24} ok: {:.0} ev/s ({:.1}% of record), peakq {}, {:.3} allocs/ev",
+                m.name,
+                m.events_per_sec,
+                ratio * 100.0,
+                m.peak_queue_depth,
+                m.allocs_per_event
+            );
+        } else {
+            for b in bad {
+                eprintln!("REGRESSION GATE FAIL: {}: {b}", m.name);
+            }
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 /// Minimal extraction of `(name, subscribers, events_per_sec)` triples from
 /// a previously written baseline file (our own fixed-format JSON).
 fn parse_baseline(text: &str) -> Vec<(String, usize, f64)> {
@@ -641,13 +816,17 @@ fn main() {
     let rebaseline = args.iter().any(|a| a == "--rebaseline");
     let overhead = args.iter().any(|a| a == "--overhead-check");
     let deep = args.iter().any(|a| a == "--deep");
-    const FLAGS: [&str; 4] = ["--quick", "--rebaseline", "--overhead-check", "--deep"];
+    let regression = args.iter().any(|a| a == "--regression-check");
+    const FLAGS: [&str; 5] = ["--quick", "--rebaseline", "--overhead-check", "--deep", "--regression-check"];
     if let Some(bad) = args.iter().find(|a| !FLAGS.contains(&a.as_str())) {
-        eprintln!("unknown flag {bad}; usage: bench_scale [--quick] [--rebaseline] [--overhead-check [--deep]]");
+        eprintln!("unknown flag {bad}; usage: bench_scale [--quick] [--rebaseline] [--overhead-check [--deep]] [--regression-check]");
         std::process::exit(2);
     }
     if overhead {
         overhead_check(quick, deep);
+    }
+    if regression {
+        regression_check();
     }
     let mode = if quick { "quick" } else { "full" };
     eprintln!("bench_scale ({mode} mode)");

@@ -67,6 +67,13 @@ pub struct FibCounters {
 pub struct Fib {
     entries: HashMap<Channel, FibEntry>,
     counters: FibCounters,
+    /// Last channel resolved by [`lookup`](Self::lookup) with a copy of
+    /// its entry — a one-line cache in front of the hash probe. Channel
+    /// popularity in a forwarding run is extremely skewed (a router on a
+    /// distribution tree sees one channel millions of times), so the
+    /// steady state is a two-word compare instead of a SipHash probe.
+    /// Invalidated by every mutating entry point.
+    cached: Option<(Channel, FibEntry)>,
 }
 
 impl Fib {
@@ -77,11 +84,13 @@ impl Fib {
 
     /// Install or replace the entry for `channel`.
     pub fn install(&mut self, entry: FibEntry) {
+        self.cached = None;
         self.entries.insert(entry.channel(), entry);
     }
 
     /// Remove the entry for `channel`; returns it if present.
     pub fn remove(&mut self, channel: Channel) -> Option<FibEntry> {
+        self.cached = None;
         self.entries.remove(&channel)
     }
 
@@ -90,28 +99,45 @@ impl Fib {
         self.entries.get(&channel)
     }
 
-    /// Mutable access to the entry for `channel`.
+    /// Mutable access to the entry for `channel`. Invalidates the lookup
+    /// cache: the caller may edit the entry in place.
     pub fn get_mut(&mut self, channel: Channel) -> Option<&mut FibEntry> {
+        self.cached = None;
         self.entries.get_mut(&channel)
     }
 
     /// The forwarding decision of §3.4 for a packet on `channel` arriving
     /// on interface `in_iface`; updates the counters.
     pub fn lookup(&mut self, channel: Channel, in_iface: u8) -> Forward {
+        if let Some((c, e)) = &self.cached {
+            if *c == channel {
+                let e = *e;
+                return self.decide(&e, in_iface);
+            }
+        }
         match self.entries.get(&channel) {
             None => {
                 self.counters.no_entry_drops += 1;
                 Forward::NoEntry
             }
-            Some(e) if e.in_iface() != in_iface => {
-                self.counters.rpf_drops += 1;
-                Forward::WrongInterface
-            }
             Some(e) => {
-                self.counters.forwarded += 1;
-                // Defensive: never reflect out the arrival interface.
-                Forward::To(e.oif_mask() & !(1u32 << in_iface))
+                let e = *e;
+                self.cached = Some((channel, e));
+                self.decide(&e, in_iface)
             }
+        }
+    }
+
+    /// The RPF check + out-mask computation shared by the cached and
+    /// probed lookup paths.
+    fn decide(&mut self, e: &FibEntry, in_iface: u8) -> Forward {
+        if e.in_iface() != in_iface {
+            self.counters.rpf_drops += 1;
+            Forward::WrongInterface
+        } else {
+            self.counters.forwarded += 1;
+            // Defensive: never reflect out the arrival interface.
+            Forward::To(e.oif_mask() & !(1u32 << in_iface))
         }
     }
 

@@ -215,6 +215,19 @@ pub struct ExpressHost {
     /// Interned handle for the per-delivery counter (registered in
     /// `on_start`, bumped by array index on every received data packet).
     hot_data_rx: Option<CounterId>,
+    /// Interned transmit-side counters (ECMP control, channel data,
+    /// subcast), registered alongside `hot_data_rx` so steady-state
+    /// sends never touch the string-keyed counter map.
+    hot_ecmp_tx: Option<CounterId>,
+    hot_data_tx: Option<CounterId>,
+    hot_subcast_tx: Option<CounterId>,
+    /// Append a [`HostEvent::DataReceived`] entry per delivered data packet
+    /// (on by default). Harnesses that only read counters can switch this
+    /// off so the steady-state receive path never grows the event `Vec`
+    /// — at scale those doublings are the host's only data-path
+    /// allocations. Control-plane events (subscription results, count
+    /// replies) are always logged; they are rare and part of the API.
+    log_data_events: bool,
 }
 
 /// Action tokens live above this bound; below are internal timers.
@@ -242,7 +255,17 @@ impl ExpressHost {
             events: Vec::new(),
             allocator: None,
             hot_data_rx: None,
+            hot_ecmp_tx: None,
+            hot_data_tx: None,
+            hot_subcast_tx: None,
+            log_data_events: true,
         }
+    }
+
+    /// Enable or disable per-packet [`HostEvent::DataReceived`] logging
+    /// (see the field docs; defaults to on).
+    pub fn set_data_event_logging(&mut self, on: bool) {
+        self.log_data_events = on;
     }
 
     /// Schedule `action` on the host at `node` at absolute simulated time
@@ -363,7 +386,10 @@ impl ExpressHost {
             None => Tx::AllOnLink,
         };
         ctx.send(iface, &pkt, TrafficClass::Control, Reliability::Datagram, tx);
-        ctx.count("host.ecmp_tx", 1);
+        match self.hot_ecmp_tx {
+            Some(id) => ctx.count_id(id, 1),
+            None => ctx.count("host.ecmp_tx", 1),
+        }
     }
 
     fn do_action(&mut self, ctx: &mut Ctx<'_>, action: HostAction) {
@@ -416,7 +442,10 @@ impl ExpressHost {
                 // Out every interface (hosts have one); the network enforces
                 // the single-source rule, not the sender.
                 ctx.send(IfaceId(0), &pkt, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
-                ctx.count("host.data_tx", 1);
+                match self.hot_data_tx {
+                    Some(id) => ctx.count_id(id, 1),
+                    None => ctx.count("host.data_tx", 1),
+                }
             }
             HostAction::Subcast { channel, via, payload_len } => {
                 let inner = packets::channel_data(channel, payload_len, packets::DEFAULT_TTL);
@@ -426,7 +455,10 @@ impl ExpressHost {
                     if let Some((iface, next)) = self.first_hop(ctx, via) {
                         let tx = ctx.resolve(next).map(Tx::To).unwrap_or(Tx::AllOnLink);
                         ctx.send(iface, &pkt, TrafficClass::Data, Reliability::Datagram, tx);
-                        ctx.count("host.subcast_tx", 1);
+                        match self.hot_subcast_tx {
+                            Some(id) => ctx.count_id(id, 1),
+                            None => ctx.count("host.subcast_tx", 1),
+                        }
                     }
                 }
             }
@@ -709,6 +741,13 @@ impl Agent for ExpressHost {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.hot_data_rx = Some(ctx.counter("host.data_rx"));
+        self.hot_ecmp_tx = Some(ctx.counter("host.ecmp_tx"));
+        self.hot_data_tx = Some(ctx.counter("host.data_tx"));
+        self.hot_subcast_tx = Some(ctx.counter("host.subcast_tx"));
+    }
+
+    fn hot_packet_fn(&self) -> Option<netsim::HotPacketFn> {
+        Some(netsim::hot_packet_stub::<Self>())
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, _class: TrafficClass) {
@@ -717,11 +756,13 @@ impl Agent for ExpressHost {
             Ok(Classified::ChannelData { channel, header })
                 if self.subscriptions.get(&channel).map(|s| s.confirmed).unwrap_or(false) => {
                     let at = ctx.now();
-                    self.events.push(HostEvent::DataReceived {
-                        at,
-                        channel,
-                        payload_len: header.payload_len,
-                    });
+                    if self.log_data_events {
+                        self.events.push(HostEvent::DataReceived {
+                            at,
+                            channel,
+                            payload_len: header.payload_len,
+                        });
+                    }
                     match self.hot_data_rx {
                         Some(id) => ctx.count_id(id, 1),
                         None => ctx.count("host.data_rx", 1),

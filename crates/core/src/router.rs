@@ -1174,12 +1174,7 @@ impl EcmpRouter {
                 // One TTL patch per hop; every out-interface (and every
                 // receiver behind each) shares the patched buffer.
                 let out = self.fwd_pool.patch_ttl(bytes, header.ttl - 1);
-                let mut m = mask;
-                while m != 0 {
-                    let i = m.trailing_zeros() as u8;
-                    m &= m - 1;
-                    ctx.send_shared(IfaceId(i), out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
-                }
+                ctx.send_fanout(mask, &out, TrafficClass::Data, Reliability::Datagram);
                 self.fwd_pool.release(out);
                 self.counters.data_forwarded += 1;
                 match self.hot {
@@ -1224,12 +1219,7 @@ impl EcmpRouter {
         }
         let mask = e.oif_mask();
         let out = self.fwd_pool.patch_ttl(&inner, inner_hdr.ttl - 1);
-        let mut m = mask;
-        while m != 0 {
-            let i = m.trailing_zeros() as u8;
-            m &= m - 1;
-            ctx.send_shared(IfaceId(i), out.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
-        }
+        ctx.send_fanout(mask, &out, TrafficClass::Data, Reliability::Datagram);
         self.fwd_pool.release(out);
         self.counters.data_forwarded += 1;
         match self.hot {
@@ -1514,6 +1504,10 @@ impl PayloadPool {
 impl Agent for EcmpRouter {
     fn kind_name(&self) -> &'static str {
         "ecmp_router"
+    }
+
+    fn hot_packet_fn(&self) -> Option<netsim::HotPacketFn> {
+        Some(netsim::hot_packet_stub::<Self>())
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {

@@ -32,6 +32,18 @@
 //! pinned three ways: the `queue_`-prefixed property tests (wheel vs.
 //! reference heap), the golden fault-storm replay, and a golden replay at a
 //! non-default granularity.
+//!
+//! ## Batched fan-out
+//!
+//! Loss-free [`Tx::AllOnLink`] sends do not schedule one arrival per
+//! receiver: they enqueue a single deferred fan-out event that expands
+//! into its deliveries when it pops, and consecutive same-timestamp
+//! fan-outs coalesce into one queue entry. Event *order*, traces, stats,
+//! and RNG consumption are identical to the eager per-receiver schedule
+//! (pinned by the cohort-equivalence property tests); peak queue depth is
+//! bounded by queue *entries* instead of receivers. See
+//! `docs/INTERNALS.md`, "Cohort batching & deferred fan-out", and
+//! [`Sim::set_fanout_batching`].
 
 use crate::id::{IfaceId, LinkId, NodeId};
 use crate::metrics::{Metrics, MetricsConfig};
@@ -143,8 +155,40 @@ pub trait Agent {
         "agent"
     }
 
+    /// Data-path devirtualization hook: return
+    /// `Some(hot_packet_stub::<Self>())` to let the engine dispatch this
+    /// agent's data-class arrivals through a cached function pointer — one
+    /// concrete downcast plus a statically dispatched `on_packet` the
+    /// compiler can inline — instead of the per-event virtual call. The
+    /// engine refreshes its per-node cache whenever an agent is installed,
+    /// crashed, or restarted; control traffic keeps the dyn path. `None`
+    /// (the default) keeps every dispatch dynamic.
+    fn hot_packet_fn(&self) -> Option<HotPacketFn> {
+        None
+    }
+
     /// Downcasting hook for inspection.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The devirtualized fast-path packet dispatch: a plain function pointer
+/// cached per node by the engine (see [`Agent::hot_packet_fn`]). Built
+/// with [`hot_packet_stub`].
+pub type HotPacketFn = fn(&mut dyn Agent, &mut Ctx<'_>, IfaceId, &Payload, TrafficClass);
+
+/// Build the [`HotPacketFn`] stub for concrete agent type `A` — the one
+/// expression an agent's [`Agent::hot_packet_fn`] needs:
+/// `Some(hot_packet_stub::<Self>())`. The stub downcasts the `dyn Agent`
+/// to `A` and calls `on_packet` statically, so the concrete body inlines
+/// into the stub.
+pub fn hot_packet_stub<A: Agent + 'static>() -> HotPacketFn {
+    |agent, ctx, iface, bytes, class| {
+        agent
+            .as_any_mut()
+            .downcast_mut::<A>()
+            .expect("hot-path stub cached for a different agent type")
+            .on_packet(ctx, iface, bytes, class)
+    }
 }
 
 /// A do-nothing agent for nodes without protocol logic.
@@ -198,6 +242,32 @@ enum EventKind {
         link: LinkId,
         loss: Option<f64>,
     },
+    /// A deferred fan-out: one send whose per-receiver arrivals are
+    /// expanded inline when the event pops instead of being scheduled
+    /// individually (the batched data path; see `docs/INTERNALS.md`,
+    /// "Cohort batching & deferred fan-out").
+    Fanout(FanoutSend),
+    /// Consecutive same-timestamp fan-outs coalesced into one queue entry
+    /// by [`TimerWheel::push_coalesced`]; expanded in push order.
+    FanoutCohort(Vec<FanoutSend>),
+}
+
+/// One deferred link transmission: everything needed to expand the
+/// per-receiver arrivals of a [`Ctx::send_shared`] at drain time. Only
+/// loss-free sends defer (a lossy datagram send must draw its per-receiver
+/// RNG at send time to keep the random stream identical to the eager
+/// path), so expansion needs no RNG.
+#[derive(Debug)]
+struct FanoutSend {
+    /// The sending node (skipped during the endpoint walk).
+    node: NodeId,
+    /// The sender's interface; the link is re-resolved at expansion.
+    iface: IfaceId,
+    bytes: Payload,
+    class: TrafficClass,
+    id: PacketId,
+    root: PacketId,
+    root_at: SimTime,
 }
 
 /// The profiler's attribution class for an event (the public face of the
@@ -209,10 +279,12 @@ fn event_class(kind: &EventKind) -> EventClass {
         EventKind::LinkChange { .. } => EventClass::LinkChange,
         EventKind::NodeChange { .. } => EventClass::NodeChange,
         EventKind::LossChange { .. } => EventClass::LossChange,
+        EventKind::Fanout(..) | EventKind::FanoutCohort(..) => EventClass::Fanout,
     }
 }
 
-/// The node an event dispatches into, when it has one.
+/// The node an event dispatches into, when it has one. (Fan-outs dispatch
+/// into many nodes; the batched path attributes per delivery instead.)
 fn event_node(kind: &EventKind) -> Option<NodeId> {
     match kind {
         EventKind::Arrival { node, .. } | EventKind::Timer { node, .. } => Some(*node),
@@ -271,12 +343,65 @@ struct World {
     next_packet_id: u64,
     /// Causal context of the arrival currently being dispatched, if any.
     cause: Option<ArrivalCause>,
+    /// Deferred fan-out batching (on by default; `Sim::set_fanout_batching`
+    /// turns it off for the eager reference semantics).
+    batch_fanout: bool,
+    /// Recycled cohort buffers from drained `FanoutCohort` events.
+    fanout_spares: Vec<Vec<FanoutSend>>,
+    /// Scratch for the eager (lossy/unicast) send path's bulk schedule.
+    bulk_scratch: Vec<EventKind>,
 }
 
 impl World {
+    /// Cap on retained cohort buffers recycled between fan-out pops.
+    const FANOUT_SPARES_MAX: usize = 4;
+
     fn push(&mut self, at: SimTime, kind: EventKind) {
         self.queue.push(at, kind);
         if self.queue.len() > self.peak_queue_depth {
+            self.peak_queue_depth = self.queue.len();
+        }
+    }
+
+    /// Bulk-schedule a same-timestamp cohort, draining `items`: one bucket
+    /// resolution and one peak update for the whole cohort. Pop order is
+    /// identical to pushing each item individually.
+    fn push_bulk(&mut self, at: SimTime, items: &mut Vec<EventKind>) {
+        self.queue.schedule_bulk(at, items.drain(..));
+        if self.queue.len() > self.peak_queue_depth {
+            self.peak_queue_depth = self.queue.len();
+        }
+    }
+
+    /// Queue a deferred fan-out at `at`, coalescing with the queue's most
+    /// recent same-timestamp entry when that entry is itself a fan-out — a
+    /// forwarding hop emitting k same-latency sends back to back (or a
+    /// whole cohort of hops doing so while draining one bucket) occupies
+    /// one queue entry instead of k. Coalescing preserves pop order (see
+    /// [`TimerWheel::push_coalesced`]) and expansion order (cohort members
+    /// expand FIFO).
+    fn push_fanout(&mut self, at: SimTime, fs: FanoutSend) {
+        let World { queue, fanout_spares, .. } = self;
+        let merged = queue.push_coalesced(at, EventKind::Fanout(fs), |last, item| match (last, item) {
+            (EventKind::FanoutCohort(v), EventKind::Fanout(new)) => {
+                v.push(new);
+                Ok(())
+            }
+            (last @ EventKind::Fanout(_), EventKind::Fanout(new)) => {
+                // Upgrade the tail entry in place to a two-member cohort.
+                let prev = std::mem::replace(
+                    last,
+                    EventKind::FanoutCohort(fanout_spares.pop().unwrap_or_default()),
+                );
+                let EventKind::Fanout(prev) = prev else { unreachable!() };
+                let EventKind::FanoutCohort(v) = last else { unreachable!() };
+                v.push(prev);
+                v.push(new);
+                Ok(())
+            }
+            (_, item) => Err(item),
+        });
+        if !merged && self.queue.len() > self.peak_queue_depth {
             self.peak_queue_depth = self.queue.len();
         }
     }
@@ -628,9 +753,39 @@ impl<'a> Ctx<'a> {
             class,
         });
         let loss = self.world.loss_override.get(&link).copied().unwrap_or(spec.loss);
-        // Indexed endpoint walk: each `link_endpoint` call re-borrows the
-        // topology for one copy, so no endpoint list is materialized per
-        // send (the filter order matches the endpoint slice order).
+        // Deferred fan-out (the batched data path): a loss-free all-on-link
+        // send becomes ONE queue entry expanded at drain time, instead of
+        // one arrival per receiver. Only loss-free sends may defer — a
+        // lossy datagram send draws per-receiver RNG, and deferring those
+        // draws would shift the random stream relative to the eager path.
+        // (Loss-free sends draw nothing, so deferral cannot shift it.)
+        if self.world.batch_fanout
+            && matches!(tx, Tx::AllOnLink)
+            && (rel == Reliability::Reliable || loss <= 0.0)
+        {
+            self.world.push_fanout(
+                arrive,
+                FanoutSend {
+                    node,
+                    iface,
+                    bytes: payload,
+                    class,
+                    id,
+                    root,
+                    root_at,
+                },
+            );
+            return true;
+        }
+        // Eager path (lossy or unicast sends, or batching off): indexed
+        // endpoint walk — each `link_endpoint` call re-borrows the topology
+        // for one copy, so no endpoint list is materialized per send (the
+        // filter order matches the endpoint slice order). Survivors are
+        // collected and bulk-scheduled: one bucket resolution per send,
+        // consecutive sequence numbers in walk order — the identical pop
+        // order per-survivor pushes would produce.
+        let mut cohort = std::mem::take(&mut self.world.bulk_scratch);
+        debug_assert!(cohort.is_empty());
         let n_endpoints = self.world.topo.link_endpoint_count(link);
         for e in 0..n_endpoints {
             let (n, i) = self.world.topo.link_endpoint(link, e);
@@ -659,20 +814,39 @@ impl<'a> Ctx<'a> {
                 });
                 continue;
             }
-            self.world.push(
-                arrive,
-                EventKind::Arrival {
-                    node: n,
-                    iface: i,
-                    bytes: payload.clone(),
-                    class,
-                    id,
-                    root,
-                    root_at,
-                },
-            );
+            cohort.push(EventKind::Arrival {
+                node: n,
+                iface: i,
+                bytes: payload.clone(),
+                class,
+                id,
+                root,
+                root_at,
+            });
         }
+        self.world.push_bulk(arrive, &mut cohort);
+        self.world.bulk_scratch = cohort;
         true
+    }
+
+    /// Transmit an already-shared buffer out every interface whose bit is
+    /// set in `mask` (bit *i* = `IfaceId(i)`, ascending) — the router
+    /// fan-out walk as one call. Equivalent to one
+    /// [`send_shared`](Self::send_shared) with [`Tx::AllOnLink`] per set
+    /// bit; under batching each becomes a deferred fan-out and consecutive
+    /// same-latency sends coalesce into a single queue entry. Returns the
+    /// number of interfaces whose link was up (frames that entered the
+    /// wire).
+    pub fn send_fanout(&mut self, mut mask: u32, payload: &Payload, class: TrafficClass, rel: Reliability) -> u32 {
+        let mut sent = 0;
+        while mask != 0 {
+            let i = mask.trailing_zeros();
+            mask &= mask - 1;
+            if self.send_shared(IfaceId(i as u8), payload.clone(), class, rel, Tx::AllOnLink) {
+                sent += 1;
+            }
+        }
+        sent
     }
 
     /// Arrange for [`Agent::on_timer`] with `token` after `delay`.
@@ -697,6 +871,10 @@ pub type AgentFactory = Box<dyn Fn() -> Box<dyn Agent>>;
 pub struct Sim {
     world: World,
     agents: Vec<Option<Box<dyn Agent>>>,
+    /// Per-node devirtualized data-path dispatch (see
+    /// [`Agent::hot_packet_fn`]); refreshed whenever an agent is installed,
+    /// crashed, or restarted. `None` = dyn dispatch.
+    hot_fns: Vec<Option<HotPacketFn>>,
     started: bool,
     /// Links downed by a node's crash, restored at its restart.
     crash_downed_links: HashMap<NodeId, Vec<LinkId>>,
@@ -739,8 +917,12 @@ impl Sim {
                 prof: None,
                 next_packet_id: 0,
                 cause: None,
+                batch_fanout: true,
+                fanout_spares: Vec::new(),
+                bulk_scratch: Vec::new(),
             },
             agents: (0..n).map(|_| Some(Box::new(NullAgent) as Box<dyn Agent>)).collect(),
+            hot_fns: vec![None; n],
             started: false,
             crash_downed_links: HashMap::new(),
             restart_factories: HashMap::new(),
@@ -751,10 +933,23 @@ impl Sim {
     /// simulation has already started, the new agent's `on_start` runs
     /// immediately — replacing an agent mid-run models a process restart.
     pub fn set_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) {
+        self.hot_fns[node.index()] = agent.hot_packet_fn();
         self.agents[node.index()] = Some(agent);
         if self.started {
             self.with_agent(node, |agent, ctx| agent.on_start(ctx));
         }
+    }
+
+    /// Toggle deferred fan-out batching (on by default). With batching off
+    /// every receiver is scheduled eagerly as its own arrival event — the
+    /// reference semantics the cohort-equivalence property tests compare
+    /// against. Event order, traces, stats, and RNG consumption are
+    /// identical either way; only queue-depth accounting differs (one
+    /// deferred entry vs one entry per receiver), so
+    /// [`peak_queue_depth`](Self::peak_queue_depth) is the one figure the
+    /// toggle legitimately changes.
+    pub fn set_fanout_batching(&mut self, on: bool) {
+        self.world.batch_fanout = on;
     }
 
     /// Borrow the agent on `node` for inspection (panics while that same
@@ -966,18 +1161,23 @@ impl Sim {
     }
 
     fn with_agent<F: FnOnce(&mut dyn Agent, &mut Ctx<'_>)>(&mut self, node: NodeId, f: F) {
-        let mut agent = self.agents[node.index()].take().expect("reentrant dispatch");
-        {
-            let mut ctx = Ctx {
-                world: &mut self.world,
-                node,
-            };
-            f(agent.as_mut(), &mut ctx);
-        }
-        self.agents[node.index()] = Some(agent);
+        // Split borrow: the agent slot and the world are disjoint fields,
+        // and `Ctx` only carries the world — an agent cannot reach back
+        // into the agent table, so no take/put dance is needed.
+        let agent = self.agents[node.index()].as_deref_mut().expect("no agent at node");
+        let mut ctx = Ctx {
+            world: &mut self.world,
+            node,
+        };
+        f(agent, &mut ctx);
     }
 
     /// Process one event; returns `false` when the queue is empty.
+    ///
+    /// A deferred fan-out pop expands *all* its deliveries inline and
+    /// counts each delivery (not the pop) in
+    /// [`events_processed`](Self::events_processed), so event totals match
+    /// the eager path exactly.
     pub fn step(&mut self) -> bool {
         self.start();
         let Some((at, kind)) = self.world.queue.pop() else {
@@ -985,19 +1185,47 @@ impl Sim {
         };
         debug_assert!(at >= self.world.now, "time must be monotone");
         self.world.now = at;
-        self.world.events_processed += 1;
-        if self.world.prof.is_none() {
-            // Fast path: profiling off costs exactly this branch.
-            self.dispatch_event(kind);
-            return true;
+        match kind {
+            EventKind::Fanout(fs) => {
+                let before = self.world.events_processed;
+                self.expand_fanout(fs);
+                self.finish_fanout_pop(before);
+            }
+            EventKind::FanoutCohort(mut sends) => {
+                let before = self.world.events_processed;
+                for fs in sends.drain(..) {
+                    self.expand_fanout(fs);
+                }
+                if self.world.fanout_spares.len() < World::FANOUT_SPARES_MAX {
+                    self.world.fanout_spares.push(sends);
+                }
+                self.finish_fanout_pop(before);
+            }
+            kind => {
+                self.world.events_processed += 1;
+                if self.world.prof.is_none() {
+                    // Fast path: profiling off costs exactly this branch.
+                    self.dispatch_event(kind);
+                    return true;
+                }
+                let class = event_class(&kind);
+                let node = event_node(&kind);
+                let t0 = self.world.prof.as_mut().expect("prof on").event_begin();
+                self.dispatch_event(kind);
+                let agent = node
+                    .and_then(|n| self.agents[n.index()].as_ref())
+                    .map(|a| a.kind_name());
+                if let Some(p) = &mut self.world.prof {
+                    p.event_end(class, node, agent, t0);
+                }
+                self.prof_gauges_if_due();
+            }
         }
-        let class = event_class(&kind);
-        let node = event_node(&kind);
-        let t0 = self.world.prof.as_mut().expect("prof on").event_begin();
-        self.dispatch_event(kind);
-        let agent = node
-            .and_then(|n| self.agents[n.index()].as_ref())
-            .map(|a| a.kind_name());
+        true
+    }
+
+    /// Snapshot queue/wheel gauges when the profiler says one is due.
+    fn prof_gauges_if_due(&mut self) {
         let World {
             prof,
             queue,
@@ -1006,7 +1234,6 @@ impl Sim {
             ..
         } = &mut self.world;
         if let Some(p) = prof {
-            p.event_end(class, node, agent, t0);
             if p.gauge_due() {
                 let g = WheelGauges {
                     occupied_slots: queue.occupied_slots(),
@@ -1023,7 +1250,144 @@ impl Sim {
                 }
             }
         }
-        true
+    }
+
+    /// Profiler bookkeeping after a deferred fan-out pop: record the
+    /// cohort size (deliveries this pop expanded into) and any due gauges.
+    fn finish_fanout_pop(&mut self, events_before: u64) {
+        if self.world.prof.is_some() {
+            let delivered = self.world.events_processed - events_before;
+            if let Some(p) = &mut self.world.prof {
+                p.record_cohort(delivered);
+            }
+            self.prof_gauges_if_due();
+        }
+    }
+
+    /// Expand one deferred fan-out into its per-receiver deliveries — the
+    /// drain-time half of the batched data path. Per-receiver work is
+    /// identical to an eager `Arrival` dispatch (node-down check, link-down
+    /// check, rx trace, causal context, agent dispatch) in the identical
+    /// order (the eager arrivals would have carried consecutive sequence
+    /// numbers, so nothing could pop between them). Link state cannot
+    /// change mid-expansion — agents have no synchronous topology mutation
+    /// API; link/node flips are themselves queued events — so the link-up
+    /// check is hoisted out of the loop, as are the trace/prof enablement
+    /// checks (the no-observer loop body is branch-free on them).
+    fn expand_fanout(&mut self, fs: FanoutSend) {
+        let FanoutSend {
+            node: sender,
+            iface,
+            bytes,
+            class,
+            id,
+            root,
+            root_at,
+        } = fs;
+        let Ok(link) = self.world.topo.link_of(sender, iface) else {
+            return;
+        };
+        let link_ok = self.world.topo.link_up(link);
+        let n_endpoints = self.world.topo.link_endpoint_count(link);
+        if self.world.trace.is_none() && self.world.prof.is_none() {
+            // Hot loop: no tracing, no profiling — one enablement branch
+            // per *send* instead of several per delivery.
+            if n_endpoints == 2 {
+                // Point-to-point: the receiver is whichever endpoint is
+                // not the sender — no loop, no skip branch per endpoint.
+                let (a, ai) = self.world.topo.link_endpoint(link, 0);
+                let (rx, ri) = if a == sender {
+                    self.world.topo.link_endpoint(link, 1)
+                } else {
+                    (a, ai)
+                };
+                self.world.events_processed += 1;
+                if !self.world.node_down[rx.index()] && link_ok {
+                    self.deliver(rx, ri, &bytes, class, id, root, root_at);
+                }
+                return;
+            }
+            for e in 0..n_endpoints {
+                let (rx, ri) = self.world.topo.link_endpoint(link, e);
+                if rx == sender {
+                    continue;
+                }
+                self.world.events_processed += 1;
+                if self.world.node_down[rx.index()] || !link_ok {
+                    continue;
+                }
+                self.deliver(rx, ri, &bytes, class, id, root, root_at);
+            }
+            return;
+        }
+        let age = self.world.now - root_at;
+        for e in 0..n_endpoints {
+            let (rx, ri) = self.world.topo.link_endpoint(link, e);
+            if rx == sender {
+                continue;
+            }
+            self.world.events_processed += 1;
+            let t0 = self.world.prof.as_mut().and_then(|p| p.event_begin());
+            if self.world.node_down[rx.index()] {
+                self.world.trace_push(TraceKind::PacketDrop {
+                    link,
+                    id,
+                    root,
+                    reason: DropReason::NodeDown,
+                    class,
+                });
+            } else if !link_ok {
+                self.world.trace_push(TraceKind::PacketDrop {
+                    link,
+                    id,
+                    root,
+                    reason: DropReason::LinkDown,
+                    class,
+                });
+            } else {
+                self.world.trace_push(TraceKind::PacketRx {
+                    node: rx,
+                    iface: ri,
+                    id,
+                    root,
+                    age,
+                    class,
+                });
+                self.deliver(rx, ri, &bytes, class, id, root, root_at);
+            }
+            if self.world.prof.is_some() {
+                let agent = self.agents[rx.index()].as_ref().map(|a| a.kind_name());
+                if let Some(p) = &mut self.world.prof {
+                    p.event_end(EventClass::Fanout, Some(rx), agent, t0);
+                }
+            }
+        }
+    }
+
+    /// One batched delivery: set the causal context and dispatch through
+    /// the cached hot fn for data traffic, the dyn path otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        node: NodeId,
+        iface: IfaceId,
+        bytes: &Payload,
+        class: TrafficClass,
+        id: PacketId,
+        root: PacketId,
+        root_at: SimTime,
+    ) {
+        self.world.cause = Some(ArrivalCause { id, root, root_at });
+        let hot = if class == TrafficClass::Data {
+            self.hot_fns[node.index()]
+        } else {
+            None
+        };
+        match hot {
+            Some(f) => self.with_agent(node, |agent, ctx| f(agent, ctx, iface, bytes, class)),
+            None => self.with_agent(node, |agent, ctx| agent.on_packet(ctx, iface, bytes, class)),
+        }
+        self.world.cause = None;
     }
 
     /// The event dispatch body (shared by the profiled and unprofiled
@@ -1075,9 +1439,7 @@ impl Sim {
                     age,
                     class,
                 });
-                self.world.cause = Some(ArrivalCause { id, root, root_at });
-                self.with_agent(node, |agent, ctx| agent.on_packet(ctx, iface, &bytes, class));
-                self.world.cause = None;
+                self.deliver(node, iface, &bytes, class, id, root, root_at);
             }
             EventKind::Timer { node, token, epoch } => {
                 // Timers from before a crash die with the agent that set
@@ -1126,6 +1488,9 @@ impl Sim {
                     self.world.loss_override.remove(&link);
                 }
             },
+            EventKind::Fanout(..) | EventKind::FanoutCohort(..) => {
+                unreachable!("fan-outs dispatch through expand_fanout, not dispatch_event")
+            }
         }
     }
 
@@ -1159,6 +1524,7 @@ impl Sim {
         // Soft state dies with the process (§3.2: everything a router knows
         // about channels and counts is soft state rebuilt by the protocol).
         self.agents[node.index()] = Some(Box::new(NullAgent));
+        self.hot_fns[node.index()] = None;
         // Every up link attached to the node drops; remember which, so the
         // restart restores exactly those.
         let links: Vec<LinkId> = self
@@ -1199,6 +1565,7 @@ impl Sim {
             Some(f) => f(),
             None => Box::new(NullAgent),
         };
+        self.hot_fns[node.index()] = agent.hot_packet_fn();
         self.agents[node.index()] = Some(agent);
         if self.started {
             self.with_agent(node, |agent, ctx| agent.on_start(ctx));
@@ -1517,6 +1884,92 @@ mod tests {
         assert_eq!(sim.now(), SimTime(5_500));
         // 5 timer firings at 1..=5 ms.
         assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn batched_fanout_counts_expanded_deliveries_and_bounds_depth() {
+        // A 1-router + N-host LAN burst: batching on must deliver the same
+        // events_processed / delivered totals as batching off, with a far
+        // smaller peak queue depth (1 deferred entry vs N arrivals).
+        fn run(batch: bool) -> (u64, usize, u64) {
+            let mut t = Topology::new();
+            let r = t.add_router();
+            let hosts: Vec<NodeId> = (0..64).map(|_| t.add_host()).collect();
+            let mut members = vec![r];
+            members.extend(&hosts);
+            t.add_lan(&members, LinkSpec::lan()).unwrap();
+            struct Burst;
+            impl Agent for Burst {
+                fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerToken) {
+                    ctx.send(IfaceId(0), b"data", TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
+                }
+                fn as_any_mut(&mut self) -> &mut dyn Any {
+                    self
+                }
+            }
+            struct Sink {
+                got: u64,
+            }
+            impl Agent for Sink {
+                fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, _b: &Payload, _c: TrafficClass) {
+                    self.got += 1;
+                }
+                fn hot_packet_fn(&self) -> Option<HotPacketFn> {
+                    Some(hot_packet_stub::<Self>())
+                }
+                fn as_any_mut(&mut self) -> &mut dyn Any {
+                    self
+                }
+            }
+            let mut sim = Sim::new(t, 3);
+            sim.set_fanout_batching(batch);
+            sim.set_agent(r, Box::new(Burst));
+            for &h in &hosts {
+                sim.set_agent(h, Box::new(Sink { got: 0 }));
+            }
+            for i in 1..=4u64 {
+                sim.schedule_timer_at(r, SimTime(i * 1_000), 0);
+            }
+            sim.run();
+            let delivered: u64 = hosts.iter().map(|&h| sim.agent_as::<Sink>(h).unwrap().got).sum();
+            (sim.events_processed(), sim.peak_queue_depth(), delivered)
+        }
+        let (ev_b, peak_b, got_b) = run(true);
+        let (ev_e, peak_e, got_e) = run(false);
+        assert_eq!(got_b, 4 * 64);
+        assert_eq!(got_b, got_e);
+        assert_eq!(ev_b, ev_e, "batched totals must match the eager path");
+        assert!(peak_b < peak_e, "batching must shrink peak depth ({peak_b} vs {peak_e})");
+        assert!(peak_b <= 8, "one burst = one deferred entry (+ timers), got {peak_b}");
+    }
+
+    #[test]
+    fn hot_packet_stub_dispatches_to_concrete_agent() {
+        let (mut sim, a, b) = two_nodes(1);
+        struct Hot {
+            got: Vec<Vec<u8>>,
+        }
+        impl Agent for Hot {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _i: IfaceId, bytes: &Payload, _c: TrafficClass) {
+                self.got.push(bytes.to_vec());
+            }
+            fn hot_packet_fn(&self) -> Option<HotPacketFn> {
+                Some(hot_packet_stub::<Self>())
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        sim.set_agent(
+            a,
+            Box::new(Pinger {
+                payload: b"via-hot-fn".to_vec(),
+                replies: 0,
+            }),
+        );
+        sim.set_agent(b, Box::new(Hot { got: vec![] }));
+        sim.run();
+        assert_eq!(sim.agent_as::<Hot>(b).unwrap().got, vec![b"via-hot-fn".to_vec()]);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod trace;
 pub mod transport;
 pub mod wheel;
 
-pub use engine::{Agent, Ctx, Payload, Sim, TimerToken, TopologyChange};
+pub use engine::{hot_packet_stub, Agent, Ctx, HotPacketFn, Payload, Sim, TimerToken, TopologyChange};
 pub use wheel::{TimerWheel, WheelConfig};
 pub use stats::CounterId;
 pub use faults::{FaultEvent, FaultPlan};

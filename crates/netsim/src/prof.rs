@@ -64,11 +64,16 @@ pub enum EventClass {
     NodeChange = 3,
     /// A loss-probability override flip.
     LossChange = 4,
+    /// A delivery expanded from a deferred fan-out event (the batched
+    /// data path; see `docs/INTERNALS.md`, cohort batching). Counted per
+    /// expanded delivery so totals stay comparable with [`EventClass::Arrival`]
+    /// under the eager path.
+    Fanout = 5,
 }
 
 impl EventClass {
     /// Number of classes (array sizing).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// All classes, in attribution-array order.
     pub const ALL: [EventClass; EventClass::COUNT] = [
@@ -77,6 +82,7 @@ impl EventClass {
         EventClass::LinkChange,
         EventClass::NodeChange,
         EventClass::LossChange,
+        EventClass::Fanout,
     ];
 
     /// Stable lowercase label (used in reports and the `prof/v1` schema).
@@ -87,6 +93,7 @@ impl EventClass {
             EventClass::LinkChange => "link_change",
             EventClass::NodeChange => "node_change",
             EventClass::LossChange => "loss_change",
+            EventClass::Fanout => "fanout",
         }
     }
 }
@@ -186,6 +193,14 @@ pub struct Profiler {
     node_hits: Vec<u64>,
     gauges: Vec<GaugeSample>,
     peak_queue_depth: usize,
+    /// Deferred fan-out pops: how many, how many deliveries they expanded
+    /// into, the largest one, and a log2-bucketed size histogram
+    /// (`cohort_buckets[i]` counts cohorts of `2^i ..= 2^(i+1)-1`
+    /// deliveries; empty cohorts land in bucket 0).
+    cohorts: u64,
+    cohort_deliveries: u64,
+    cohort_max: u64,
+    cohort_buckets: [u64; Self::COHORT_BUCKETS],
 }
 
 impl Profiler {
@@ -210,8 +225,16 @@ impl Profiler {
             node_hits: vec![0; node_count],
             gauges: Vec::new(),
             peak_queue_depth: 0,
+            cohorts: 0,
+            cohort_deliveries: 0,
+            cohort_max: 0,
+            cohort_buckets: [0; Self::COHORT_BUCKETS],
         }
     }
+
+    /// Log2 histogram width: bucket 21 covers cohorts past 2 M deliveries,
+    /// beyond the §5.3 million-subscriber tree.
+    const COHORT_BUCKETS: usize = 22;
 
     fn calibrate_timer_cost() -> u64 {
         // Median of a few batches to shrug off a stray preemption.
@@ -300,6 +323,20 @@ impl Profiler {
         }
     }
 
+    /// One deferred fan-out event popped and expanded into `deliveries`
+    /// agent dispatches (the batched data path's cohort size).
+    pub(crate) fn record_cohort(&mut self, deliveries: u64) {
+        self.cohorts += 1;
+        self.cohort_deliveries += deliveries;
+        self.cohort_max = self.cohort_max.max(deliveries);
+        let b = if deliveries == 0 {
+            0
+        } else {
+            (63 - deliveries.leading_zeros() as usize).min(Self::COHORT_BUCKETS - 1)
+        };
+        self.cohort_buckets[b] += 1;
+    }
+
     pub(crate) fn mark_run_start(&mut self) {
         if self.run_started.is_none() {
             self.run_started = Some(Instant::now());
@@ -378,6 +415,16 @@ impl Profiler {
             gauges: self.gauges.clone(),
             peak_queue_depth: self.peak_queue_depth,
             overhead_ns,
+            fanout_cohorts: self.cohorts,
+            fanout_deliveries: self.cohort_deliveries,
+            fanout_max_cohort: self.cohort_max,
+            fanout_size_pow2: self
+                .cohort_buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .map(|(i, &n)| (i as u32, n))
+                .collect(),
         }
     }
 }
@@ -434,6 +481,16 @@ pub struct ProfReport {
     pub peak_queue_depth: usize,
     /// The profiler's estimated self-cost (clock reads), ns.
     pub overhead_ns: u64,
+    /// Deferred fan-out pops (batched cohort expansions).
+    pub fanout_cohorts: u64,
+    /// Total deliveries those cohorts expanded into.
+    pub fanout_deliveries: u64,
+    /// Deliveries in the largest single cohort.
+    pub fanout_max_cohort: u64,
+    /// Cohort-size histogram: `(p, cohorts)` pairs where `p` is
+    /// `floor(log2(deliveries))` — the non-empty power-of-two buckets,
+    /// ascending.
+    pub fanout_size_pow2: Vec<(u32, u64)>,
 }
 
 impl ProfReport {
@@ -454,7 +511,17 @@ impl ProfReport {
         if let Some(r) = self.run_ns {
             let _ = write!(out, ",\"run_ns\":{r}");
         }
+        if self.fanout_cohorts > 0 {
+            let _ = write!(
+                out,
+                ",\"fanout_cohorts\":{},\"fanout_deliveries\":{},\"fanout_max_cohort\":{}",
+                self.fanout_cohorts, self.fanout_deliveries, self.fanout_max_cohort
+            );
+        }
         out.push_str("}\n");
+        for &(p, n) in &self.fanout_size_pow2 {
+            let _ = writeln!(out, "{{\"cohort_pow2\":{p},\"cohorts\":{n}}}");
+        }
         for k in &self.kinds {
             let _ = writeln!(
                 out,
@@ -511,11 +578,17 @@ impl ProfReport {
                     gauges: Vec::new(),
                     peak_queue_depth: get("peak_queue_depth").unwrap_or(0) as usize,
                     overhead_ns: get("overhead_ns").unwrap_or(0),
+                    fanout_cohorts: get("fanout_cohorts").unwrap_or(0),
+                    fanout_deliveries: get("fanout_deliveries").unwrap_or(0),
+                    fanout_max_cohort: get("fanout_max_cohort").unwrap_or(0),
+                    fanout_size_pow2: Vec::new(),
                 });
                 continue;
             }
             let Some(r) = &mut report else { continue };
-            if let Some(kind) = m.get("kind") {
+            if let Some(p) = get("cohort_pow2") {
+                r.fanout_size_pow2.push((p as u32, get("cohorts").unwrap_or(0)));
+            } else if let Some(kind) = m.get("kind") {
                 r.kinds.push(KindStat {
                     kind: kind.clone(),
                     count: get("count").unwrap_or(0),
@@ -614,6 +687,20 @@ impl ProfReport {
                 );
             }
         }
+        if self.fanout_cohorts > 0 {
+            let _ = writeln!(out, "\n-- fan-out cohort sizes (deliveries per deferred pop) --");
+            let avg = self.fanout_deliveries as f64 / self.fanout_cohorts as f64;
+            let _ = writeln!(
+                out,
+                "{} cohorts, {} deliveries (avg {:.1}/cohort, max {})",
+                self.fanout_cohorts, self.fanout_deliveries, avg, self.fanout_max_cohort
+            );
+            let max_b = self.fanout_size_pow2.iter().map(|&(_, n)| n).max().unwrap_or(1).max(1);
+            for &(p, n) in &self.fanout_size_pow2 {
+                let bar = "#".repeat(((n as usize) * 30).div_ceil(max_b as usize).min(30));
+                let _ = writeln!(out, "2^{p:<2} ..  {n:>10} cohorts |{bar}");
+            }
+        }
         if !self.gauges.is_empty() {
             let _ = writeln!(out, "\n-- queue depth / wheel occupancy timeline --");
             let _ = writeln!(out, "peak queue depth {}", self.peak_queue_depth);
@@ -707,6 +794,26 @@ mod tests {
         let text = r.render();
         assert!(text.contains("per event kind"));
         assert!(text.contains("self-measured overhead"));
+    }
+
+    #[test]
+    fn cohort_distribution_buckets_and_round_trips() {
+        let mut p = Profiler::new(ProfConfig::default(), 2);
+        p.mark_run_start();
+        for d in [0u64, 1, 1, 3, 1_048_576] {
+            p.record_cohort(d);
+        }
+        let r = p.report();
+        assert_eq!(r.fanout_cohorts, 5);
+        assert_eq!(r.fanout_deliveries, 1_048_581);
+        assert_eq!(r.fanout_max_cohort, 1_048_576);
+        // d=0,1,1 land in bucket 0; d=3 in bucket 1; 2^20 in bucket 20.
+        assert_eq!(r.fanout_size_pow2, vec![(0, 3), (1, 1), (20, 1)]);
+        let parsed = ProfReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(parsed, r);
+        let text = r.render();
+        assert!(text.contains("fan-out cohort sizes"));
+        assert!(text.contains("max 1048576"));
     }
 
     #[test]

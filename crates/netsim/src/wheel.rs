@@ -269,6 +269,76 @@ impl<T> TimerWheel<T> {
         }
     }
 
+    /// Schedule a whole same-timestamp cohort at `at` in one operation:
+    /// the bucket is resolved once and every item is appended to it
+    /// consecutively. Items take consecutive sequence numbers in iteration
+    /// order, so the cohort pops FIFO exactly as if pushed one by one —
+    /// [`push`](Self::push)ing each item yields the identical pop stream,
+    /// this just skips the per-item bucket routing. Behind-cursor and
+    /// past-horizon timestamps fall back to per-item routing (those paths
+    /// are per-item heap pushes regardless).
+    pub fn schedule_bulk<I: IntoIterator<Item = T>>(&mut self, at: SimTime, items: I) {
+        let s = self.bucket_of(at);
+        if s >= self.cursor_slot && s - self.cursor_slot < self.nslots as u64 {
+            let pos = (s & self.slot_mask) as usize;
+            if self.slots[pos].capacity() == 0 {
+                if let Some(sp) = self.spares.pop() {
+                    self.slots[pos] = sp;
+                }
+            }
+            let mut n = 0usize;
+            for item in items {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.slots[pos].push(Entry { at, seq, item });
+                n += 1;
+            }
+            if n > 0 {
+                self.mark(pos);
+                self.len += n;
+            }
+        } else {
+            for item in items {
+                self.push(at, item);
+            }
+        }
+    }
+
+    /// [`push`](Self::push), but first offer the item to the most recent
+    /// entry scheduled at the *same timestamp*, if that entry is still the
+    /// tail of its bucket: `merge(&mut tail, item)` returning `Ok(())`
+    /// coalesces the two into one queue entry ([`len`](Self::len) is
+    /// unchanged); `Err(item)` hands the item back for a normal push.
+    /// Returns `true` when the item was coalesced.
+    ///
+    /// Coalescing never reorders: same-timestamp entries always share a
+    /// bucket and are appended in push order, so the bucket tail at `at`
+    /// is the most recently scheduled event at that timestamp — merging
+    /// into it occupies exactly the queue position a fresh push would
+    /// take. Any intervening push into the bucket becomes the new tail
+    /// and breaks the chain automatically; behind-cursor and past-horizon
+    /// timestamps never merge (plain push).
+    pub fn push_coalesced<M>(&mut self, at: SimTime, item: T, merge: M) -> bool
+    where
+        M: FnOnce(&mut T, T) -> Result<(), T>,
+    {
+        let s = self.bucket_of(at);
+        let mut item = item;
+        if s >= self.cursor_slot && s - self.cursor_slot < self.nslots as u64 {
+            let pos = (s & self.slot_mask) as usize;
+            if let Some(last) = self.slots[pos].last_mut() {
+                if last.at == at {
+                    match merge(&mut last.item, item) {
+                        Ok(()) => return true,
+                        Err(back) => item = back,
+                    }
+                }
+            }
+        }
+        self.push(at, item);
+        false
+    }
+
     /// Find the next occupied slot position at or after the cursor, within
     /// one full revolution; returns the *absolute* bucket index.
     fn next_occupied_slot(&self) -> Option<u64> {
@@ -567,6 +637,115 @@ mod tests {
         });
         assert_eq!(w.shift, 7);
         assert_eq!(w.nslots, 1024);
+    }
+
+    #[test]
+    fn queue_bulk_schedule_matches_individual_pushes() {
+        // A bulk cohort interleaved with singles must pop exactly as if
+        // every item had been pushed one by one (the reference).
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut w = TimerWheel::new(WheelConfig {
+                granularity_us: 1 << rng.random_range(0..8u32),
+                slots: 1 << rng.random_range(2..8u32),
+            });
+            let mut h = HeapRef::new();
+            let mut now = SimTime::ZERO;
+            let mut tag = 0u32;
+            for _ in 0..500 {
+                match rng.random_range(0..3u32) {
+                    0 => {
+                        // Bulk cohort: near, behind-cursor-adjacent, or
+                        // deep overflow timestamps all exercised.
+                        let at = now + crate::time::SimDuration(rng.random_range(0..8_000_000u64));
+                        let k = rng.random_range(0..6usize);
+                        let items: Vec<u32> = (0..k as u32).map(|i| tag + i).collect();
+                        tag += k as u32;
+                        for &it in &items {
+                            h.push(at, it);
+                        }
+                        w.schedule_bulk(at, items);
+                    }
+                    1 => {
+                        let at = now + crate::time::SimDuration(rng.random_range(0..5_000u64));
+                        w.push(at, tag);
+                        h.push(at, tag);
+                        tag += 1;
+                    }
+                    _ => {
+                        let got = w.pop();
+                        let expect = h.pop();
+                        assert_eq!(got, expect, "seed {seed} diverged mid-stream");
+                        if let Some((at, _)) = got {
+                            now = at;
+                        }
+                    }
+                }
+            }
+            drain_both(w, h);
+        }
+    }
+
+    #[test]
+    fn queue_coalesce_merges_only_the_same_timestamp_tail() {
+        // Model the engine's fan-out cohorts: items are Vec<u32> and the
+        // merge concatenates. Pop order must equal the per-item reference.
+        let merge = |tail: &mut Vec<u32>, item: Vec<u32>| {
+            tail.extend_from_slice(&item);
+            Ok(())
+        };
+        let mut w = TimerWheel::new(WheelConfig::default());
+        let at = SimTime(10_000);
+        assert!(!w.push_coalesced(at, vec![0], merge)); // empty bucket: plain push
+        assert!(w.push_coalesced(at, vec![1], merge)); // merges into tail
+        assert!(w.push_coalesced(at, vec![2], merge));
+        assert_eq!(w.len(), 1, "coalesced pushes occupy one entry");
+        // A different timestamp in the same bucket becomes the new tail
+        // and breaks the chain.
+        w.push(SimTime(10_050), vec![99]);
+        assert!(!w.push_coalesced(at, vec![3], merge));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some((at, vec![0, 1, 2])));
+        assert_eq!(w.pop(), Some((at, vec![3])));
+        assert_eq!(w.pop(), Some((SimTime(10_050), vec![99])));
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn queue_coalesce_declined_merge_falls_back_to_push() {
+        // The merge closure can refuse (the engine declines across
+        // non-mergeable kinds); the item must land as its own entry.
+        let mut w = TimerWheel::new(WheelConfig::default());
+        let at = SimTime(640);
+        w.push(at, 7u32);
+        let refused = |_: &mut u32, item: u32| Err(item);
+        assert!(!w.push_coalesced(at, 8, refused));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop(), Some((at, 7)));
+        assert_eq!(w.pop(), Some((at, 8)));
+    }
+
+    #[test]
+    fn queue_coalesce_never_merges_behind_cursor() {
+        // Once the cursor passed the bucket, same-timestamp pushes route
+        // to the inbox heap — coalescing there could reorder, so it must
+        // not happen.
+        let mut w = TimerWheel::new(WheelConfig {
+            granularity_us: 1_024,
+            slots: 16,
+        });
+        let merge = |tail: &mut Vec<u32>, item: Vec<u32>| {
+            tail.extend_from_slice(&item);
+            Ok(())
+        };
+        w.push(SimTime(100), vec![0]);
+        assert_eq!(w.pop(), Some((SimTime(100), vec![0])));
+        // Same bucket as the popped event; cursor already past it.
+        assert!(!w.push_coalesced(SimTime(200), vec![1], merge));
+        assert!(!w.push_coalesced(SimTime(200), vec![2], merge));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop(), Some((SimTime(200), vec![1])));
+        assert_eq!(w.pop(), Some((SimTime(200), vec![2])));
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Cohort-equivalence property pin: batched fan-out dispatch must be
+//! observationally identical to the reference one-event-at-a-time drain.
+//!
+//! The engine's deferred fan-out replaces k same-timestamp `Arrival`s with
+//! one compact `Fanout` event that expands at pop time (see
+//! `docs/INTERNALS.md`, "Cohort batching & deferred fan-out"). The claim is
+//! that this is purely a representation change: every delivery happens at
+//! the same simulated time, in the same order, with the same RNG stream and
+//! the same observable output. These tests make the claim falsifiable the
+//! same way the PR 4 `queue_*` wheel tests pin the calendar queue against a
+//! `BinaryHeap` reference: run randomized scenarios through both modes
+//! (`Sim::set_fanout_batching(true|false)`) and demand byte-identical
+//! traces and identical stats.
+//!
+//! `peak_queue_depth` is deliberately **excluded** from the comparison: the
+//! entry count in the queue is the one figure deferral legitimately changes
+//! (k arrivals collapse into one cohort entry — that collapse is the
+//! optimization), and it is pinned separately by the bench regression gate.
+
+use express::host::{ExpressHost, HostAction};
+use express::router::{EcmpRouter, RouterConfig};
+use express_wire::addr::Channel;
+use netsim::faults::FaultPlan;
+use netsim::time::{SimDuration, SimTime};
+use netsim::topogen;
+use netsim::topology::{LinkSpec, Topology};
+use netsim::{LinkId, Sim, TraceConfig, WheelConfig};
+use std::fmt::Write as _;
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime(ms * 1000)
+}
+
+/// Everything observable about a finished run except queue-entry counts.
+fn observe(sim: &Sim, trace: String) -> (String, String) {
+    let mut stats = String::new();
+    let _ = writeln!(stats, "events_processed {}", sim.events_processed());
+    for (k, v) in sim.stats().named_counters() {
+        let _ = writeln!(stats, "counter {k} {v}");
+    }
+    let total = sim.stats().total();
+    let _ = writeln!(
+        stats,
+        "links total data_pkts={} data_bytes={} ctl_pkts={} ctl_bytes={} drops={}",
+        total.data_packets, total.data_bytes, total.control_packets, total.control_bytes, total.drops
+    );
+    (trace, stats)
+}
+
+/// An EXPRESS protocol run over a random graph: staggered joins, a data
+/// stream, a link flap and a loss burst (the loss burst keeps the *eager*
+/// per-endpoint RNG path in play alongside the deferred loss-free one).
+fn protocol_run(seed: u64, topo_seed: u64, batch: bool, wheel: WheelConfig) -> (String, String) {
+    let g = topogen::random_connected(12, 5, 18, LinkSpec::default(), topo_seed);
+    let mut sim = Sim::new_with_wheel(g.topo.clone(), seed, wheel);
+    sim.set_fanout_batching(batch);
+    for &r in &g.routers {
+        sim.set_agent(r, Box::new(EcmpRouter::new(RouterConfig::default())));
+    }
+    for &h in &g.hosts {
+        sim.set_agent(h, Box::new(ExpressHost::new()));
+    }
+    let chan = Channel::new(g.topo.ip(g.hosts[0]), 1).unwrap();
+    for (i, &h) in g.hosts[1..].iter().enumerate() {
+        ExpressHost::schedule(
+            &mut sim,
+            h,
+            at_ms(1 + 7 * i as u64),
+            HostAction::Subscribe { channel: chan, key: None },
+        );
+    }
+    let mut t = 150;
+    while t <= 900 {
+        ExpressHost::schedule(&mut sim, g.hosts[0], at_ms(t), HostAction::SendData { channel: chan, payload_len: 100 });
+        t += 10;
+    }
+    FaultPlan::new()
+        .link_flap(LinkId(2), at_ms(300), at_ms(450))
+        .loss_burst(LinkId(5), at_ms(500), 0.4, SimDuration::from_millis(150))
+        .apply(&mut sim);
+    sim.enable_trace(TraceConfig::default());
+    sim.run_until(at_ms(1_000));
+    let trace = sim.take_trace().expect("trace enabled").to_jsonl();
+    observe(&sim, trace)
+}
+
+/// A shared-LAN fan-out: one source host and `n` receivers on one
+/// multi-access segment — the deferral-heaviest shape (every send is one
+/// `Fanout` covering the whole LAN).
+fn lan_run(seed: u64, n: usize, batch: bool) -> (String, String) {
+    let mut topo = Topology::new();
+    let nodes: Vec<_> = (0..n + 1).map(|_| topo.add_host()).collect();
+    topo.add_lan(&nodes, LinkSpec::lan()).unwrap();
+    let chan = Channel::new(topo.ip(nodes[0]), 1).unwrap();
+    let mut sim = Sim::new(topo, seed);
+    sim.set_fanout_batching(batch);
+    for &h in &nodes {
+        sim.set_agent(h, Box::new(ExpressHost::new()));
+    }
+    for (i, &h) in nodes[1..].iter().enumerate() {
+        ExpressHost::schedule(
+            &mut sim,
+            h,
+            at_ms(1 + i as u64),
+            HostAction::Subscribe { channel: chan, key: None },
+        );
+    }
+    for k in 0..20u64 {
+        ExpressHost::schedule(
+            &mut sim,
+            nodes[0],
+            at_ms(100 + 5 * k),
+            HostAction::SendData { channel: chan, payload_len: 64 },
+        );
+    }
+    sim.enable_trace(TraceConfig::default());
+    sim.run_until(at_ms(300));
+    let trace = sim.take_trace().expect("trace enabled").to_jsonl();
+    observe(&sim, trace)
+}
+
+#[test]
+fn batched_protocol_runs_match_reference_drain() {
+    // Randomized over (rng seed, topology seed): same scenario through the
+    // batched engine and the reference per-event drain.
+    for (seed, topo_seed) in [(1u64, 101u64), (2, 202), (3, 303), (4, 404)] {
+        let (trace_b, stats_b) = protocol_run(seed, topo_seed, true, WheelConfig::default());
+        let (trace_r, stats_r) = protocol_run(seed, topo_seed, false, WheelConfig::default());
+        assert_eq!(
+            trace_b, trace_r,
+            "trace diverged between batched and reference drain (seed {seed}, topo {topo_seed})"
+        );
+        assert_eq!(
+            stats_b, stats_r,
+            "stats diverged between batched and reference drain (seed {seed}, topo {topo_seed})"
+        );
+    }
+}
+
+#[test]
+fn batched_lan_fanout_matches_reference_drain() {
+    for (seed, n) in [(7u64, 3usize), (8, 17), (9, 64)] {
+        let (trace_b, stats_b) = lan_run(seed, n, true);
+        let (trace_r, stats_r) = lan_run(seed, n, false);
+        assert_eq!(trace_b, trace_r, "trace diverged (seed {seed}, n {n})");
+        assert_eq!(stats_b, stats_r, "stats diverged (seed {seed}, n {n})");
+        assert!(
+            stats_b.contains("host.data_rx"),
+            "scenario delivered nothing — not exercising the fan-out path"
+        );
+    }
+}
+
+#[test]
+fn batching_is_wheel_granularity_independent() {
+    // The deferral must commute with wheel geometry: batched runs on a fine
+    // and a coarse wheel produce the same bytes as each other and as the
+    // reference drain.
+    let fine = WheelConfig::default();
+    let coarse = WheelConfig { granularity_us: 1024, slots: 512 };
+    let (trace_f, stats_f) = protocol_run(11, 707, true, fine);
+    let (trace_c, stats_c) = protocol_run(11, 707, true, coarse);
+    let (trace_r, stats_r) = protocol_run(11, 707, false, WheelConfig::default());
+    assert_eq!(trace_f, trace_c, "batched trace depends on wheel granularity");
+    assert_eq!(stats_f, stats_c, "batched stats depend on wheel granularity");
+    assert_eq!(trace_f, trace_r, "batched trace diverged from reference drain");
+    assert_eq!(stats_f, stats_r, "batched stats diverged from reference drain");
+}
