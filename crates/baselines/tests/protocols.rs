@@ -244,14 +244,17 @@ fn igmpv2_suppression_vs_igmpv3_no_suppression() {
         members.extend(&hosts);
         t.add_lan(&members, LinkSpec::lan()).unwrap();
         let mut sim = Sim::new(t, 11);
-        sim.set_agent(q, Box::new(IgmpQuerier::new(SimDuration::from_secs(10), 100)));
+        sim.set_agent(q, Box::new(IgmpQuerier::new(SimDuration::from_secs(10), 50)));
         for &h in &hosts {
             sim.set_agent(h, Box::new(GroupHost::new(version)));
             GroupHost::schedule(&mut sim, h, at_ms(1), GroupHostAction::Join { group: g1(), sources: vec![] });
         }
-        // Run through exactly one query round (query at t=10s, responses
-        // within 10s max-resp).
-        sim.run_until(SimTime(21_000_000));
+        // Run through exactly one query round: the query fires at t=10s and
+        // every response lands within its 5s max-resp window, well before
+        // the second query at t=20s — so the cutoff can neither truncate
+        // round one nor pick up early round-two responses regardless of the
+        // per-host response-delay draws.
+        sim.run_until(SimTime(18_000_000));
         // Subtract the 10 unsolicited join reports; what remains is the
         // query-round response traffic.
         let total: u64 = hosts

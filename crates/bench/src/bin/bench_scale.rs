@@ -32,7 +32,17 @@
 //!                                  # full suite -> results/bench_scale_baseline.json
 //! cargo run --release -p express-bench --bin bench_scale -- --regression-check
 //!                                  # gate: fresh best-of-N vs BENCH_scale.json, exit 1 on regression
+//! cargo run --release -p express-bench --bin bench_scale -- --shards 4
+//!                                  # run the suite on the sharded parallel engine
+//! cargo run --release -p express-bench --bin bench_scale -- --shard-smoke
+//!                                  # determinism smoke: classic vs sharded observables, exit 1 on divergence
 //! ```
+//!
+//! Output schema is `bench_scale/v2`: each scenario row records the shard
+//! count it ran at (`"shards"`), and the host block records the
+//! parallelism available (`"threads"`). v1 files (no `shards` key) are
+//! still read by the gate; their rows default to `shards = 1`, which is
+//! what they were.
 //!
 //! A committed baseline (captured on the pre-optimization tree) lives at
 //! `results/bench_scale_baseline.json`; when present, matching scenarios
@@ -86,9 +96,13 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// Sends one pre-built channel-data packet out interface 0 per timer fire.
 /// The harness schedules the fire times (warm-up burst, drain gap, measured
-/// burst) via `Sim::schedule_timer_at`.
+/// burst) via `Sim::schedule_timer_at`. The packet is built **once** as a
+/// shared [`netsim::Payload`] and sent by refcount bump — the send path
+/// itself never copies the bytes, so the source contributes zero
+/// steady-state allocations and the `allocs_per_fwd` gate can pin the whole
+/// data plane at ~0.
 struct Blaster {
-    pkt: Vec<u8>,
+    pkt: netsim::Payload,
 }
 
 impl Agent for Blaster {
@@ -97,7 +111,7 @@ impl Agent for Blaster {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
-        ctx.send(IfaceId(0), &self.pkt, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
+        ctx.send_shared(IfaceId(0), self.pkt.clone(), TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
@@ -197,6 +211,7 @@ struct Measurement {
     nodes: usize,
     links: usize,
     subscribers: usize,
+    shards: usize,
     warmup_packets: usize,
     measured_packets: usize,
     setup_ms: f64,
@@ -235,6 +250,7 @@ fn measure(
 ) -> Measurement {
     let nodes = sim.topology().node_count();
     let links = sim.topology().link_count();
+    let shards = sim.shard_count();
     sim.run_until(warm_until);
     let ev0 = sim.events_processed();
     let alloc0 = ALLOCS.load(Ordering::Relaxed);
@@ -254,6 +270,7 @@ fn measure(
         nodes,
         links,
         subscribers,
+        shards,
         warmup_packets,
         measured_packets,
         setup_ms,
@@ -273,8 +290,8 @@ fn measure(
         dijkstra_queries: sim.routing().query_count(),
     };
     eprintln!(
-        "  {:<18} {:>9} subs  {:>11} events  {:>9.0} ev/s  {:>7.1} ms wall  peakq {:>8}  {:>6.2} allocs/ev",
-        m.name, m.subscribers, m.events, m.events_per_sec, m.wall_ms, m.peak_queue_depth, m.allocs_per_event
+        "  {:<18} {:>9} subs  {:>2} shard(s)  {:>11} events  {:>9.0} ev/s  {:>7.1} ms wall  peakq {:>8}  {:>6.2} allocs/ev",
+        m.name, m.subscribers, m.shards, m.events, m.events_per_sec, m.wall_ms, m.peak_queue_depth, m.allocs_per_event
     );
     m
 }
@@ -300,7 +317,7 @@ fn burst_schedule(warm: usize, meas: usize, drain_ms: u64) -> (Vec<SimTime>, Sim
 /// One hub EXPRESS router; the source is point-to-point behind it, and all
 /// `n` subscribers share one multi-access segment — a single `send` fans
 /// out to every receiver.
-fn star_fanout(n: usize, warm: usize, meas: usize) -> Measurement {
+fn star_fanout(n: usize, warm: usize, meas: usize, shards: usize) -> Measurement {
     let t0 = Instant::now();
     let a0 = ALLOCS.load(Ordering::Relaxed);
     let mut t = Topology::new();
@@ -314,6 +331,7 @@ fn star_fanout(n: usize, warm: usize, meas: usize) -> Measurement {
     t.add_lan(&members, LinkSpec::lan()).unwrap();
     let chan = Channel::new(t.ip(src), 1).unwrap();
     let mut sim = Sim::new(t, 7);
+    sim.set_shards(shards);
     sim.set_agent(hub, Box::new(EcmpRouter::new(quiet_cfg())));
     sim.agent_as::<EcmpRouter>(hub)
         .unwrap()
@@ -321,7 +339,7 @@ fn star_fanout(n: usize, warm: usize, meas: usize) -> Measurement {
     for &s in &members[1..] {
         sim.set_agent(s, Box::new(AccountingSink::new()));
     }
-    sim.set_agent(src, Box::new(Blaster { pkt: packets::channel_data(chan, 100, 64) }));
+    sim.set_agent(src, Box::new(Blaster { pkt: packets::channel_data(chan, 100, 64).into() }));
     let (fires, warm_until, end) = burst_schedule(warm, meas, 5);
     for at in fires {
         sim.schedule_timer_at(src, at, 0);
@@ -345,15 +363,18 @@ fn star_fanout(n: usize, warm: usize, meas: usize) -> Measurement {
 
 /// The §5.3 k-ary distribution tree: binary router tree of `depth`, one
 /// accounting sink per leaf, FIB pre-seeded down the whole tree.
-fn kary_scale(depth: usize, warm: usize, meas: usize) -> Measurement {
-    kary_scale_obs(depth, warm, meas, false)
+fn kary_scale(depth: usize, warm: usize, meas: usize, shards: usize) -> Measurement {
+    kary_scale_obs(depth, warm, meas, false, shards)
 }
 
 /// `kary_scale`, optionally with the full observability stack *enabled*:
 /// metrics, the engine self-profiler, and a streaming JSONL trace sink at
 /// 1/1024 causal sampling (written to `io::sink` so the A/B comparison in
 /// `--overhead-check` measures instrumentation cost, not disk bandwidth).
-fn kary_scale_obs(depth: usize, warm: usize, meas: usize, observed: bool) -> Measurement {
+/// The streaming sink requires the classic engine, so `observed` implies
+/// `shards == 1`.
+fn kary_scale_obs(depth: usize, warm: usize, meas: usize, observed: bool, shards: usize) -> Measurement {
+    assert!(!observed || shards == 1, "--overhead-check streams a trace sink; shards must be 1");
     let t0 = Instant::now();
     let a0 = ALLOCS.load(Ordering::Relaxed);
     let g = topogen::kary_tree(2, depth, LinkSpec::default());
@@ -362,6 +383,7 @@ fn kary_scale_obs(depth: usize, warm: usize, meas: usize, observed: bool) -> Mea
     let routers = g.routers;
     let hosts = g.hosts;
     let mut sim = Sim::new(g.topo, 7);
+    sim.set_shards(shards);
     if observed {
         sim.enable_metrics(MetricsConfig::default());
         sim.enable_prof(ProfConfig::default());
@@ -384,7 +406,7 @@ fn kary_scale_obs(depth: usize, warm: usize, meas: usize, observed: bool) -> Mea
     for &h in &hosts[1..] {
         sim.set_agent(h, Box::new(AccountingSink::new()));
     }
-    sim.set_agent(hosts[0], Box::new(Blaster { pkt: packets::channel_data(chan, 100, 64) }));
+    sim.set_agent(hosts[0], Box::new(Blaster { pkt: packets::channel_data(chan, 100, 64).into() }));
     // Depth+2 hops at 1 ms each: drain for depth+5 ms between windows.
     let (fires, warm_until, end) = burst_schedule(warm, meas, depth as u64 + 5);
     for at in fires {
@@ -410,7 +432,7 @@ fn kary_scale_obs(depth: usize, warm: usize, meas: usize, observed: bool) -> Mea
 /// A mid-size ISP-like random graph where the real join protocol builds the
 /// tree: every host subscribes through RPF'd Counts, then the source
 /// streams. Exercises Dijkstra (+ cache), aggregation, and delivery.
-fn random_protocol(n_routers: usize, extra: usize, n_hosts: usize, meas_packets: usize) -> Measurement {
+fn random_protocol(n_routers: usize, extra: usize, n_hosts: usize, meas_packets: usize, shards: usize) -> Measurement {
     let t0 = Instant::now();
     let a0 = ALLOCS.load(Ordering::Relaxed);
     let g = topogen::random_connected(n_routers, extra, n_hosts, LinkSpec::default(), 99);
@@ -419,6 +441,7 @@ fn random_protocol(n_routers: usize, extra: usize, n_hosts: usize, meas_packets:
     let routers = g.routers;
     let hosts = g.hosts;
     let mut sim = Sim::new(g.topo, 7);
+    sim.set_shards(shards);
     for &r in &routers {
         sim.set_agent(r, Box::new(EcmpRouter::new(RouterConfig::default())));
     }
@@ -509,8 +532,11 @@ fn host_env_json(indent: &str) -> String {
     let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
         .map(|s| s.trim().to_string())
         .unwrap_or_else(|_| "unknown".into());
+    // `threads` is what a sharded run can actually exploit: on a 1-thread
+    // host the parallel drain serializes and shards>1 rows only measure
+    // synchronization overhead (see PERFORMANCE.md).
     format!(
-        "{{\n{indent}  \"cpu_model\": \"{}\",\n{indent}  \"cores\": {cores},\n{indent}  \"kernel\": \"{}\"\n{indent}}}",
+        "{{\n{indent}  \"cpu_model\": \"{}\",\n{indent}  \"cores\": {cores},\n{indent}  \"threads\": {cores},\n{indent}  \"kernel\": \"{}\"\n{indent}}}",
         json_safe(&cpu),
         json_safe(&kernel)
     )
@@ -520,12 +546,13 @@ fn scenario_json(m: &Measurement, speedup: Option<f64>) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "    {{\n      \"name\": \"{}\",\n      \"topology\": \"{}\",\n      \"nodes\": {},\n      \"links\": {},\n      \"subscribers\": {},\n      \"warmup_packets\": {},\n      \"measured_packets\": {},\n      \"setup_ms\": {:.1},\n      \"setup_allocs\": {},\n      \"events\": {},\n      \"sim_ms\": {:.1},\n      \"wall_ms\": {:.1},\n      \"events_per_sec\": {:.0},\n      \"wall_ms_per_sim_sec\": {:.1},\n      \"peak_queue_depth\": {},\n      \"allocs\": {},\n      \"allocs_per_event\": {:.3},\n      \"data_fwd\": {},\n      \"allocs_per_fwd\": {:.3},\n      \"delivered\": {},\n      \"dijkstra_computes\": {},\n      \"dijkstra_queries\": {}",
+        "    {{\n      \"name\": \"{}\",\n      \"topology\": \"{}\",\n      \"nodes\": {},\n      \"links\": {},\n      \"subscribers\": {},\n      \"shards\": {},\n      \"warmup_packets\": {},\n      \"measured_packets\": {},\n      \"setup_ms\": {:.1},\n      \"setup_allocs\": {},\n      \"events\": {},\n      \"sim_ms\": {:.1},\n      \"wall_ms\": {:.1},\n      \"events_per_sec\": {:.0},\n      \"wall_ms_per_sim_sec\": {:.1},\n      \"peak_queue_depth\": {},\n      \"allocs\": {},\n      \"allocs_per_event\": {:.3},\n      \"data_fwd\": {},\n      \"allocs_per_fwd\": {:.3},\n      \"delivered\": {},\n      \"dijkstra_computes\": {},\n      \"dijkstra_queries\": {}",
         m.name,
         m.topology,
         m.nodes,
         m.links,
         m.subscribers,
+        m.shards,
         m.warmup_packets,
         m.measured_packets,
         m.setup_ms,
@@ -556,6 +583,10 @@ fn scenario_json(m: &Measurement, speedup: Option<f64>) -> String {
 struct Record {
     name: String,
     subscribers: usize,
+    /// Shard count the row was measured at. Absent in `bench_scale/v1`
+    /// files, where every row was the classic single-shard engine — so the
+    /// back-compat default is 1. Only `shards == 1` rows gate.
+    shards: usize,
     events_per_sec: f64,
     peak_queue_depth: usize,
     allocs_per_event: f64,
@@ -563,7 +594,7 @@ struct Record {
 }
 
 /// Extract the regression-gate fields for every scenario in a previously
-/// written `BENCH_scale.json`.
+/// written `BENCH_scale.json` (`bench_scale/v1` or `/v2`).
 fn parse_records(text: &str) -> Vec<Record> {
     let mut out = Vec::new();
     let mut cur: Option<Record> = None;
@@ -576,6 +607,7 @@ fn parse_records(text: &str) -> Vec<Record> {
             cur = Some(Record {
                 name: v.trim_end_matches('"').to_string(),
                 subscribers: 0,
+                shards: 1,
                 events_per_sec: 0.0,
                 peak_queue_depth: 0,
                 allocs_per_event: 0.0,
@@ -584,6 +616,8 @@ fn parse_records(text: &str) -> Vec<Record> {
         } else if let Some(r) = cur.as_mut() {
             if let Some(v) = l.strip_prefix("\"subscribers\": ") {
                 r.subscribers = v.parse().unwrap_or(0);
+            } else if let Some(v) = l.strip_prefix("\"shards\": ") {
+                r.shards = v.parse().unwrap_or(1);
             } else if let Some(v) = l.strip_prefix("\"events_per_sec\": ") {
                 r.events_per_sec = v.parse().unwrap_or(0.0);
             } else if let Some(v) = l.strip_prefix("\"peak_queue_depth\": ") {
@@ -615,9 +649,16 @@ fn parse_records(text: &str) -> Vec<Record> {
 /// * `peak_queue_depth` ≤ 105% of record — deterministic per seed, so any
 ///   real growth is a scheduling change, not noise.
 /// * `allocs_per_event` ≤ record + 0.005 and `allocs_per_fwd` ≤
-///   record + 0.5 — deterministic; pins the data path allocation-free
-///   (and the star-burst alloc fix, see PERFORMANCE.md). These noise-free
-///   checks carry the fine-grained regression-pinning weight.
+///   record + 0.005 — deterministic; pins the data path allocation-free end
+///   to end. Since the source builds its packet once as a shared `Payload`
+///   and every fan-out clones by refcount, the records sit at ~0.000 and
+///   the tolerance is a pure float-noise guard, not headroom.
+///
+/// Only `shards == 1` rows gate: sharded rows in `BENCH_scale.json` are
+/// additive documentation of the parallel engine's overhead/scaling on the
+/// recording host, and their wall-clock figures depend on core count in a
+/// way the single-shard floors do not. The gate itself always runs the
+/// classic engine.
 ///
 /// Prints the core count so single-core results aren't misread, never
 /// rewrites `BENCH_scale.json`, and exits 1 on any violation.
@@ -635,17 +676,17 @@ fn regression_check() {
         }
     };
     let runners: Vec<Box<dyn Fn() -> Measurement>> = vec![
-        Box::new(|| star_fanout(100_000, 5, 20)),
-        Box::new(|| kary_scale(14, 2, 10)),
-        Box::new(|| kary_scale(20, 2, 5)),
-        Box::new(|| random_protocol(400, 150, 1_000, 100)),
+        Box::new(|| star_fanout(100_000, 5, 20, 1)),
+        Box::new(|| kary_scale(14, 2, 10, 1)),
+        Box::new(|| kary_scale(20, 2, 5, 1)),
+        Box::new(|| random_protocol(400, 150, 1_000, 100, 1)),
     ];
     let mut failed = false;
     for run in &runners {
         let mut m = best_of(REPS, run);
         let Some(r) = records
             .iter()
-            .find(|r| r.name == m.name && r.subscribers == m.subscribers)
+            .find(|r| r.name == m.name && r.subscribers == m.subscribers && r.shards == 1)
         else {
             eprintln!("REGRESSION GATE FAIL: {} has no number of record in {OUT_PATH}", m.name);
             failed = true;
@@ -691,9 +732,9 @@ fn regression_check() {
                 m.allocs_per_event, r.allocs_per_event
             ));
         }
-        if m.allocs_per_fwd > r.allocs_per_fwd + 0.5 {
+        if m.allocs_per_fwd > r.allocs_per_fwd + 0.005 {
             bad.push(format!(
-                "allocs_per_fwd {:.3} > record {:.3} + 0.5",
+                "allocs_per_fwd {:.3} > record {:.3} + 0.005",
                 m.allocs_per_fwd, r.allocs_per_fwd
             ));
         }
@@ -755,8 +796,8 @@ fn overhead_check(quick: bool, deep: bool) {
         (14, 2, 10, 3)
     };
     eprintln!("bench_scale --overhead-check: kary depth {depth}, observability disabled vs enabled");
-    let off = best_of(reps, || kary_scale_obs(depth, warm, meas, false));
-    let on = best_of(reps, || kary_scale_obs(depth, warm, meas, true));
+    let off = best_of(reps, || kary_scale_obs(depth, warm, meas, false, 1));
+    let on = best_of(reps, || kary_scale_obs(depth, warm, meas, true, 1));
     let enabled_ratio = on.events_per_sec / off.events_per_sec;
     let record = std::fs::read_to_string(OUT_PATH)
         .map(|t| parse_baseline(&t))
@@ -810,17 +851,122 @@ fn overhead_check(quick: bool, deep: bool) {
     std::process::exit(if failed { 1 } else { 0 });
 }
 
+/// One shard-smoke repetition: the FIB-seeded k-ary tree at `shards`
+/// shards, returning every deterministic observable — event count plus all
+/// named counters and the link-stat totals. (`peak_queue_depth` is
+/// deliberately absent: entry counts are per-shard-queue figures and the
+/// one number the partition legitimately changes.)
+fn shard_smoke_observe(shards: usize) -> (u64, Vec<String>) {
+    let g = topogen::kary_tree(2, 10, LinkSpec::default());
+    let chan = Channel::new(g.topo.ip(g.hosts[0]), 1).unwrap();
+    let routers = g.routers;
+    let hosts = g.hosts;
+    let mut sim = Sim::new(g.topo, 7);
+    sim.set_shards(shards);
+    for &r in &routers {
+        let mut router = EcmpRouter::new(quiet_cfg());
+        let ifaces = sim.topology().iface_count(r) as u32;
+        let mask = ((1u32 << ifaces) - 1) & !1;
+        if mask != 0 {
+            router.install_static_route(FibEntry::new(chan, 0, mask).unwrap());
+        }
+        sim.set_agent(r, Box::new(router));
+    }
+    for &h in &hosts[1..] {
+        sim.set_agent(h, Box::new(AccountingSink::new()));
+    }
+    sim.set_agent(hosts[0], Box::new(Blaster { pkt: packets::channel_data(chan, 100, 64).into() }));
+    let (fires, _warm_until, end) = burst_schedule(2, 5, 15);
+    for at in fires {
+        sim.schedule_timer_at(hosts[0], at, 0);
+    }
+    sim.run_until(end);
+    let mut obs: Vec<String> = sim
+        .stats()
+        .named_counters()
+        .map(|(k, v)| format!("counter {k} {v}"))
+        .collect();
+    obs.sort();
+    let t = sim.stats().total();
+    obs.push(format!(
+        "links total data_pkts={} data_bytes={} ctl_pkts={} ctl_bytes={} drops={}",
+        t.data_packets, t.data_bytes, t.control_packets, t.control_bytes, t.drops
+    ));
+    (sim.events_processed(), obs)
+}
+
+/// The determinism smoke for the verify loop (`--shard-smoke`): run the
+/// k-ary scenario on the classic engine and on the sharded parallel engine
+/// and demand identical deterministic observables. This is the cheap
+/// cross-check that the conservative-lookahead drain is still
+/// shard-count-invariant *in this build* — the full byte-level contract is
+/// pinned by the `determinism_golden` and `cohort_equivalence` tests.
+/// Exits 1 on any divergence.
+fn shard_smoke(shards: usize) {
+    let s = shards.max(2);
+    eprintln!("bench_scale --shard-smoke: kary depth 10, classic engine vs {s} shard(s)");
+    let (ev1, obs1) = shard_smoke_observe(1);
+    let (evs, obss) = shard_smoke_observe(s);
+    let mut failed = false;
+    if ev1 != evs {
+        eprintln!("SHARD SMOKE FAIL: events_processed {evs} at {s} shards != {ev1} at 1 shard");
+        failed = true;
+    }
+    if obs1 != obss {
+        for (a, b) in obs1.iter().zip(obss.iter()) {
+            if a != b {
+                eprintln!("SHARD SMOKE FAIL: '{b}' at {s} shards != '{a}' at 1 shard");
+            }
+        }
+        if obs1.len() != obss.len() {
+            eprintln!(
+                "SHARD SMOKE FAIL: {} observables at {s} shards != {} at 1 shard",
+                obss.len(),
+                obs1.len()
+            );
+        }
+        failed = true;
+    }
+    if !failed {
+        eprintln!("  ok: {ev1} events, {} observables identical at 1 and {s} shard(s)", obs1.len());
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `--shards N` takes a value; peel it off before the flag check.
+    let mut shards = 1usize;
+    let mut args = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--shards" {
+            shards = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--shards needs a positive integer argument");
+                    std::process::exit(2);
+                });
+        } else {
+            args.push(a);
+        }
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let rebaseline = args.iter().any(|a| a == "--rebaseline");
     let overhead = args.iter().any(|a| a == "--overhead-check");
     let deep = args.iter().any(|a| a == "--deep");
     let regression = args.iter().any(|a| a == "--regression-check");
-    const FLAGS: [&str; 5] = ["--quick", "--rebaseline", "--overhead-check", "--deep", "--regression-check"];
+    let smoke = args.iter().any(|a| a == "--shard-smoke");
+    const FLAGS: [&str; 6] =
+        ["--quick", "--rebaseline", "--overhead-check", "--deep", "--regression-check", "--shard-smoke"];
     if let Some(bad) = args.iter().find(|a| !FLAGS.contains(&a.as_str())) {
-        eprintln!("unknown flag {bad}; usage: bench_scale [--quick] [--rebaseline] [--overhead-check [--deep]] [--regression-check]");
+        eprintln!("unknown flag {bad}; usage: bench_scale [--quick] [--shards N] [--rebaseline] [--overhead-check [--deep]] [--regression-check] [--shard-smoke]");
         std::process::exit(2);
+    }
+    if smoke {
+        shard_smoke(shards);
     }
     if overhead {
         overhead_check(quick, deep);
@@ -829,13 +975,13 @@ fn main() {
         regression_check();
     }
     let mode = if quick { "quick" } else { "full" };
-    eprintln!("bench_scale ({mode} mode)");
+    eprintln!("bench_scale ({mode} mode, {shards} shard(s))");
 
     let scenarios: Vec<Measurement> = if quick {
         vec![
-            star_fanout(10_000, 2, 5),
-            kary_scale(10, 2, 5),
-            random_protocol(100, 40, 200, 30),
+            star_fanout(10_000, 2, 5, shards),
+            kary_scale(10, 2, 5, shards),
+            random_protocol(100, 40, 200, 30, shards),
         ]
     } else {
         // Same seed every repetition — the simulated work is identical, so
@@ -843,12 +989,20 @@ fn main() {
         // min-of-N on shared hardware; multi-second host-steal episodes
         // otherwise land on whichever phase happens to be running).
         const REPS: usize = 3;
-        vec![
-            best_of(REPS, || star_fanout(100_000, 5, 20)),
-            best_of(REPS, || kary_scale(14, 2, 10)),
-            best_of(REPS, || kary_scale(20, 2, 5)),
-            best_of(REPS, || random_protocol(400, 150, 1_000, 100)),
-        ]
+        let mut v = vec![
+            best_of(REPS, || star_fanout(100_000, 5, 20, shards)),
+            best_of(REPS, || kary_scale(14, 2, 10, shards)),
+            best_of(REPS, || kary_scale(20, 2, 5, shards)),
+            best_of(REPS, || random_protocol(400, 150, 1_000, 100, shards)),
+        ];
+        if shards == 1 {
+            // Additive sharded row: the mid-size k-ary tree on the
+            // 2-shard parallel engine, so the committed file documents the
+            // conservative-sync cost/benefit on the recording host. Never
+            // gated (see `regression_check`).
+            v.push(best_of(REPS, || kary_scale(14, 2, 10, 2)));
+        }
+        v
     };
 
     let baseline = if rebaseline {
@@ -859,6 +1013,11 @@ fn main() {
             .unwrap_or_default()
     };
     let speedup_of = |m: &Measurement| -> Option<f64> {
+        // The committed baseline is a single-shard capture; a sharded row's
+        // ratio against it would conflate engine speedups with parallelism.
+        if m.shards != 1 {
+            return None;
+        }
         baseline
             .iter()
             .find(|(n, s, _)| *n == m.name && *s == m.subscribers)
@@ -866,7 +1025,7 @@ fn main() {
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"bench_scale/v1\",\n");
+    json.push_str("{\n  \"schema\": \"bench_scale/v2\",\n");
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"host\": {},", host_env_json("  "));
     json.push_str("  \"scenarios\": [\n");

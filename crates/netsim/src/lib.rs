@@ -39,6 +39,7 @@ pub mod id;
 pub mod metrics;
 pub mod prof;
 pub mod routing;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod topogen;
@@ -56,6 +57,7 @@ pub use metrics::{CounterSnapshot, Histogram, Metrics, MetricsConfig};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkSpec, NodeKind, Topology};
 pub use prof::{EventClass, ProfConfig, ProfReport, Profiler, WheelGauges};
+pub use shard::ShardPlan;
 pub use trace::{
     parse_flat_json_object, JsonlSink, PacketId, PacketPath, ProtoEvent, SampleSpec, TraceBuffer,
     TraceConfig, TraceEvent, TraceKind, TraceLevel, TraceMeta, TraceSink, Tracer,

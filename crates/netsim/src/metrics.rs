@@ -149,6 +149,23 @@ impl Histogram {
             .map(|(b, &c)| (b.copied(), c))
     }
 
+    /// Merge another histogram's observations into this one (bucket-wise).
+    /// Both must share the same bounds — per-shard histograms are created
+    /// from the same configuration, so a mismatch is a caller bug.
+    pub(crate) fn absorb(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Upper bound of the bucket containing the `q`-quantile observation
     /// (`q` in `[0, 1]`); `None` if empty or the quantile lands in the
     /// overflow bucket (then [`max`](Self::max) bounds it).
@@ -252,6 +269,41 @@ impl Metrics {
     /// Create (or reset) histogram `name` with custom bucket bounds.
     pub fn histogram_with_bounds(&mut self, name: &str, bounds: impl Into<Vec<u64>>) {
         self.hists.insert(name.to_string(), Histogram::new(bounds.into()));
+    }
+
+    /// Merge-and-drain another `Metrics` into this one: series are added
+    /// elementwise by name, gauges merge-sorted by time (this side's samples
+    /// first on ties), histograms merged bucket-wise, delivery timestamps
+    /// merge-sorted. Fault marks are coordinator-recorded (shard 0 only in a
+    /// sharded run) but merged defensively all the same. `other` is left
+    /// empty.
+    pub(crate) fn absorb(&mut self, other: &mut Metrics) {
+        for (name, src) in std::mem::take(&mut other.series) {
+            let dst = self.series.entry(name).or_default();
+            if dst.len() < src.len() {
+                dst.resize(src.len(), 0);
+            }
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+        for (name, src) in std::mem::take(&mut other.gauges) {
+            let dst = self.gauges.entry(name).or_default();
+            *dst = merge_by_time(std::mem::take(dst), src, |e| e.0);
+        }
+        for (name, src) in std::mem::take(&mut other.hists) {
+            match self.hists.get_mut(&name) {
+                Some(dst) => dst.absorb(&src),
+                None => {
+                    self.hists.insert(name, src);
+                }
+            }
+        }
+        let src = std::mem::take(&mut other.deliveries);
+        self.deliveries = merge_by_time(std::mem::take(&mut self.deliveries), src, |&t| t);
+        let faults = std::mem::take(&mut other.faults);
+        self.faults.extend(faults);
+        self.faults.sort_by_key(|&(t, _)| t);
     }
 
     // ---- reads -----------------------------------------------------------
@@ -372,6 +424,28 @@ impl Metrics {
         out.push_str("}}");
         out
     }
+}
+
+/// Stable two-way merge of time-sorted vectors: on equal timestamps, `a`'s
+/// elements come first. Used by [`Metrics::absorb`].
+fn merge_by_time<T>(a: Vec<T>, b: Vec<T>, key: impl Fn(&T) -> SimTime) -> Vec<T> {
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    let (mut a, mut b) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => {
+                if key(x) <= key(y) {
+                    merged.push(a.next().unwrap());
+                } else {
+                    merged.push(b.next().unwrap());
+                }
+            }
+            (Some(_), None) => merged.push(a.next().unwrap()),
+            (None, Some(_)) => merged.push(b.next().unwrap()),
+            (None, None) => break,
+        }
+    }
+    merged
 }
 
 /// A point-in-time copy of the named counters, for before/after deltas

@@ -240,6 +240,34 @@ impl Stats {
         self.by_name.get(key).map_or(0, |id| self.values[id.index()])
     }
 
+    /// Merge-and-drain another `Stats` into this one: per-link counters are
+    /// added elementwise (both sides are sized for the full topology — each
+    /// shard of a sharded run keeps a full-size link table and only touches
+    /// its own links), and every *touched* named counter in `other` is added
+    /// under the same key here. `other` is left zeroed but keeps its intern
+    /// tables, so [`CounterId`] handles held by agents stay valid across
+    /// repeated `run_until` calls. Counters are matched **by name**, not by
+    /// handle — per-shard interning order differs.
+    pub(crate) fn absorb(&mut self, other: &mut Stats) {
+        for (dst, src) in self.per_link.iter_mut().zip(other.per_link.iter_mut()) {
+            dst.data_packets += src.data_packets;
+            dst.data_bytes += src.data_bytes;
+            dst.control_packets += src.control_packets;
+            dst.control_bytes += src.control_bytes;
+            dst.drops += src.drops;
+            *src = LinkStats::default();
+        }
+        for i in 0..other.values.len() {
+            if other.touched[i] {
+                let key = other.names[i].clone();
+                let id = self.counter(key);
+                self.count_id(id, other.values[i]);
+                other.values[i] = 0;
+                other.touched[i] = false;
+            }
+        }
+    }
+
     /// All named counters that have been bumped at least once, sorted by
     /// name (registered-but-never-bumped slots are hidden).
     pub fn named_counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {

@@ -487,7 +487,10 @@ impl PacketPath {
 /// [`discarded`](Self::discarded): ring overwrite, I/O errors — whatever
 /// the backend's loss mode is. The count is surfaced in export headers and
 /// by `trace_inspect`, so a truncated capture never looks complete.
-pub trait TraceSink {
+///
+/// Sinks are `Send` because the sharded engine hands each shard's sink to
+/// that shard's worker thread for the duration of a drain window.
+pub trait TraceSink: Send {
     /// The tracer configuration this sink is attached under. Called once by
     /// [`Tracer::new`]; sinks that write self-describing output (e.g.
     /// [`JsonlSink`]'s header line) capture what they need here.
@@ -495,6 +498,16 @@ pub trait TraceSink {
 
     /// Retain one event. Must not filter — that already happened.
     fn record(&mut self, event: TraceEvent);
+
+    /// Retain one event together with its canonical ordering tag: the
+    /// causing queue entry's key (`source rank << 64 | per-source seq`) and
+    /// a per-event sub-sequence. The sharded engine emits every event
+    /// through this hook so per-shard captures can be merged back into the
+    /// classic emission order; sinks that never participate in a merge
+    /// (e.g. [`JsonlSink`]) ignore the tag.
+    fn record_tagged(&mut self, event: TraceEvent, _key: u128, _sub: u64) {
+        self.record(event);
+    }
 
     /// How many admitted events this sink failed to retain (ring
     /// overwrites, write errors, …).
@@ -530,6 +543,11 @@ pub trait TraceSink {
 pub struct TraceBuffer {
     cfg: TraceConfig,
     ring: VecDeque<TraceEvent>,
+    /// Canonical ordering tags, in lockstep with `ring` (one entry per
+    /// retained event; popped together on overwrite). Untagged records
+    /// carry `(0, 0)`. The sharded engine merges per-shard buffers by
+    /// these tags.
+    tags: VecDeque<(u128, u64)>,
     /// Events discarded because the ring was full.
     overwritten: u64,
 }
@@ -539,6 +557,7 @@ impl TraceBuffer {
     pub fn new(cfg: TraceConfig) -> Self {
         TraceBuffer {
             ring: VecDeque::with_capacity(cfg.capacity.min(4096)),
+            tags: VecDeque::new(),
             cfg,
             overwritten: 0,
         }
@@ -548,11 +567,47 @@ impl TraceBuffer {
     /// [`parse_jsonl`](Self::parse_jsonl)), so the query API — path
     /// reconstruction, data roots — works on saved traces too.
     pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        let tags = std::iter::repeat_n((0u128, 0u64), events.len()).collect();
         TraceBuffer {
             cfg: TraceConfig::default().capacity(events.len().max(1)),
             ring: events.into(),
+            tags,
             overwritten: 0,
         }
+    }
+
+    /// Consume the ring into `(event, key, sub)` triples in emission order
+    /// plus the overwrite count — the sharded engine's merge input.
+    pub(crate) fn into_tagged(self) -> (Vec<(TraceEvent, u128, u64)>, u64) {
+        let triples = self
+            .ring
+            .into_iter()
+            .zip(self.tags)
+            .map(|(e, (k, s))| (e, k, s))
+            .collect();
+        (triples, self.overwritten)
+    }
+
+    /// Rebuild a buffer from merged `(event, key, sub)` triples, applying
+    /// `cfg.capacity` as the classic ring would (oldest events beyond
+    /// capacity are dropped and counted on top of `overwritten`).
+    pub(crate) fn from_tagged(
+        cfg: TraceConfig,
+        mut events: Vec<(TraceEvent, u128, u64)>,
+        mut overwritten: u64,
+    ) -> Self {
+        if events.len() > cfg.capacity {
+            let excess = events.len() - cfg.capacity;
+            events.drain(..excess);
+            overwritten += excess as u64;
+        }
+        let mut ring = VecDeque::with_capacity(events.len());
+        let mut tags = VecDeque::with_capacity(events.len());
+        for (e, k, s) in events {
+            ring.push_back(e);
+            tags.push_back((k, s));
+        }
+        TraceBuffer { cfg, ring, tags, overwritten }
     }
 
     /// The capture configuration.
@@ -593,15 +648,17 @@ impl TraceBuffer {
                 return;
             }
         }
-        self.store(TraceEvent { at, kind });
+        self.store(TraceEvent { at, kind }, (0, 0));
     }
 
-    fn store(&mut self, event: TraceEvent) {
+    fn store(&mut self, event: TraceEvent, tag: (u128, u64)) {
         if self.ring.len() >= self.cfg.capacity {
             self.ring.pop_front();
+            self.tags.pop_front();
             self.overwritten += 1;
         }
         self.ring.push_back(event);
+        self.tags.push_back(tag);
     }
 
     // ---- queries ---------------------------------------------------------
@@ -710,7 +767,11 @@ impl TraceBuffer {
 
 impl TraceSink for TraceBuffer {
     fn record(&mut self, event: TraceEvent) {
-        self.store(event);
+        self.store(event, (0, 0));
+    }
+
+    fn record_tagged(&mut self, event: TraceEvent, key: u128, sub: u64) {
+        self.store(event, (key, sub));
     }
 
     fn discarded(&self) -> u64 {
@@ -740,7 +801,7 @@ impl TraceSink for TraceBuffer {
 /// attached to a [`Tracer`], or lazily before the first event) and — once
 /// [`finish`](TraceSink::finish) runs — ends with a `trace_footer` line
 /// carrying the final event and discarded counts.
-pub struct JsonlSink<W: std::io::Write + 'static> {
+pub struct JsonlSink<W: std::io::Write + Send + 'static> {
     out: W,
     buf: String,
     /// Flush threshold in bytes.
@@ -765,7 +826,7 @@ impl JsonlSink<std::io::BufWriter<std::fs::File>> {
     }
 }
 
-impl<W: std::io::Write + 'static> JsonlSink<W> {
+impl<W: std::io::Write + Send + 'static> JsonlSink<W> {
     /// Stream the capture to `out`.
     pub fn new(out: W) -> Self {
         JsonlSink {
@@ -819,7 +880,7 @@ impl<W: std::io::Write + 'static> JsonlSink<W> {
     }
 }
 
-impl<W: std::io::Write + 'static> TraceSink for JsonlSink<W> {
+impl<W: std::io::Write + Send + 'static> TraceSink for JsonlSink<W> {
     fn on_attach(&mut self, cfg: &TraceConfig) {
         self.sample = cfg.sample;
         self.write_header();
@@ -937,16 +998,25 @@ impl Tracer {
     }
 
     /// Record an event whose sampling root (if any) is carried by the
-    /// record itself.
-    pub(crate) fn push(&mut self, at: SimTime, kind: TraceKind) {
-        self.push_caused(at, kind, None);
+    /// record itself, tagged with its canonical ordering key and per-event
+    /// sub-sequence (see [`TraceSink::record_tagged`]).
+    pub(crate) fn push(&mut self, at: SimTime, kind: TraceKind, key: u128, sub: u64) {
+        self.push_caused(at, kind, None, key, sub);
     }
 
     /// Record an event, sampling by the record's own root or — for rootless
     /// records like protocol events — by `ambient_root` (the arrival being
     /// dispatched when the event fired). Events with no root at all always
-    /// pass sampling.
-    pub(crate) fn push_caused(&mut self, at: SimTime, kind: TraceKind, ambient_root: Option<PacketId>) {
+    /// pass sampling. `key`/`sub` are the canonical ordering tag forwarded
+    /// to [`TraceSink::record_tagged`].
+    pub(crate) fn push_caused(
+        &mut self,
+        at: SimTime,
+        kind: TraceKind,
+        ambient_root: Option<PacketId>,
+        key: u128,
+        sub: u64,
+    ) {
         if !self.cfg.admits(&kind) {
             return;
         }
@@ -957,7 +1027,7 @@ impl Tracer {
                 }
             }
         }
-        self.sink.record(TraceEvent { at, kind });
+        self.sink.record_tagged(TraceEvent { at, kind }, key, sub);
     }
 }
 
@@ -1511,17 +1581,17 @@ mod tests {
         let root = (0..u64::MAX).find(|r| spec.keeps(PacketId(*r))).unwrap();
         let culled = (0..u64::MAX).find(|r| !spec.keeps(PacketId(*r))).unwrap();
         let mut tr = Tracer::ring(cfg);
-        tr.push(SimTime(0), tx(1, root, None, 0, 0));
-        tr.push(SimTime(0), tx(2, culled, None, 0, 0)); // sampled out
-        tr.push(SimTime(0), TraceKind::TimerFire { node: NodeId(0), token: 1 }); // level-filtered
+        tr.push(SimTime(0), tx(1, root, None, 0, 0), 0, 0);
+        tr.push(SimTime(0), tx(2, culled, None, 0, 0), 0, 1); // sampled out
+        tr.push(SimTime(0), TraceKind::TimerFire { node: NodeId(0), token: 1 }, 0, 2); // level-filtered
         let proto = |v: u64| TraceKind::Proto {
             node: NodeId(0),
             event: ProtoEvent { name: "x.y".into(), channel: None, value: Some(v), detail: None },
         };
         // Proto sampled by ambient root when supplied, kept otherwise.
-        tr.push_caused(SimTime(1), proto(1), Some(PacketId(root)));
-        tr.push_caused(SimTime(1), proto(2), Some(PacketId(culled)));
-        tr.push_caused(SimTime(1), proto(3), None);
+        tr.push_caused(SimTime(1), proto(1), Some(PacketId(root)), 0, 3);
+        tr.push_caused(SimTime(1), proto(2), Some(PacketId(culled)), 0, 4);
+        tr.push_caused(SimTime(1), proto(3), None, 0, 5);
         let b = tr.buffer().unwrap();
         assert_eq!(b.len(), 3);
         let kinds: Vec<bool> = b.events().map(|e| matches!(e.kind, TraceKind::Proto { .. })).collect();

@@ -96,9 +96,14 @@ impl Default for WheelConfig {
 }
 
 /// One scheduled entry: timestamp, tie-break sequence number, payload.
+///
+/// The sequence is 128 bits wide so callers can supply *canonical keys*
+/// (`source rank << 64 | per-source counter` — see `netsim::engine`) through
+/// the `*_keyed` methods; auto-assigned sequences from [`TimerWheel::push`]
+/// occupy the low half of the space.
 struct Entry<T> {
     at: SimTime,
-    seq: u64,
+    seq: u128,
     item: T,
 }
 
@@ -154,7 +159,7 @@ pub struct TimerWheel<T> {
     /// time keeps total wheel footprint ~2 cohort buffers instead of one
     /// abandoned buffer per drained bucket.
     spares: Vec<Vec<Entry<T>>>,
-    next_seq: u64,
+    next_seq: u128,
     len: usize,
 }
 
@@ -254,8 +259,23 @@ impl<T> TimerWheel<T> {
     pub fn push(&mut self, at: SimTime, item: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let e = Entry { at, seq, item };
-        let s = self.bucket_of(at);
+        self.push_entry(Entry { at, seq, item });
+    }
+
+    /// [`push`](Self::push) with a caller-supplied tie-break key instead of
+    /// an auto-assigned sequence number. The pop order is `(at, key)`; keys
+    /// need not be pushed in order (the bucket sort restores order), but two
+    /// entries at the same `(at, key)` have no defined relative order —
+    /// callers must keep keys unique per timestamp. Auto-assigned sequences
+    /// and explicit keys share one ordering space; a wheel should use one
+    /// style or the other.
+    pub fn push_keyed(&mut self, at: SimTime, key: u128, item: T) {
+        self.push_entry(Entry { at, seq: key, item });
+    }
+
+    #[inline]
+    fn push_entry(&mut self, e: Entry<T>) {
+        let s = self.bucket_of(e.at);
         self.len += 1;
         if s < self.cursor_slot {
             // Behind the cursor: its bucket was already drained, so it joins
@@ -304,6 +324,35 @@ impl<T> TimerWheel<T> {
         }
     }
 
+    /// [`schedule_bulk`](Self::schedule_bulk) with caller-supplied tie-break
+    /// keys: the bucket is resolved once and every `(key, item)` pair is
+    /// appended to it. Pop order is `(at, key)` regardless of append order
+    /// (the bucket sort restores it).
+    pub fn schedule_bulk_keyed<I: IntoIterator<Item = (u128, T)>>(&mut self, at: SimTime, items: I) {
+        let s = self.bucket_of(at);
+        if s >= self.cursor_slot && s - self.cursor_slot < self.nslots as u64 {
+            let pos = (s & self.slot_mask) as usize;
+            if self.slots[pos].capacity() == 0 {
+                if let Some(sp) = self.spares.pop() {
+                    self.slots[pos] = sp;
+                }
+            }
+            let mut n = 0usize;
+            for (key, item) in items {
+                self.slots[pos].push(Entry { at, seq: key, item });
+                n += 1;
+            }
+            if n > 0 {
+                self.mark(pos);
+                self.len += n;
+            }
+        } else {
+            for (key, item) in items {
+                self.push_keyed(at, key, item);
+            }
+        }
+    }
+
     /// [`push`](Self::push), but first offer the item to the most recent
     /// entry scheduled at the *same timestamp*, if that entry is still the
     /// tail of its bucket: `merge(&mut tail, item)` returning `Ok(())`
@@ -336,6 +385,34 @@ impl<T> TimerWheel<T> {
             }
         }
         self.push(at, item);
+        false
+    }
+
+    /// [`push_coalesced`](Self::push_coalesced) with a caller-supplied
+    /// tie-break key for the fallback push. The merge offer still goes to
+    /// the bucket *tail* (most recent same-timestamp push); under explicit
+    /// keys the tail is not necessarily the key-maximum at `at`, so the
+    /// merge closure itself must refuse any merge that would violate the
+    /// caller's ordering contract (the engine merges only ascending-key
+    /// cohort members).
+    pub fn push_coalesced_keyed<M>(&mut self, at: SimTime, key: u128, item: T, merge: M) -> bool
+    where
+        M: FnOnce(&mut T, T) -> Result<(), T>,
+    {
+        let s = self.bucket_of(at);
+        let mut item = item;
+        if s >= self.cursor_slot && s - self.cursor_slot < self.nslots as u64 {
+            let pos = (s & self.slot_mask) as usize;
+            if let Some(last) = self.slots[pos].last_mut() {
+                if last.at == at {
+                    match merge(&mut last.item, item) {
+                        Ok(()) => return true,
+                        Err(back) => item = back,
+                    }
+                }
+            }
+        }
+        self.push_keyed(at, key, item);
         false
     }
 
@@ -446,18 +523,96 @@ impl<T> TimerWheel<T> {
     /// `&mut self` because answering may advance the cursor and order a
     /// bucket (the work is not repeated by the following [`pop`](Self::pop)).
     pub fn next_at(&mut self) -> Option<SimTime> {
+        self.next_at_key().map(|(at, _)| at)
+    }
+
+    /// The smallest pending key at exactly timestamp `at`, **without**
+    /// advancing the cursor or draining any bucket — `None` when no pending
+    /// event carries that timestamp. Correct only while `at`'s own bucket
+    /// has already been drained into the current run (i.e. from within the
+    /// dispatch of an event popped at `at`): at that point every pending
+    /// same-timestamp event lives either in the run or in the inbox (a
+    /// push at `at` lands behind the cursor), so future buckets — which
+    /// cannot hold `at` — are never touched. This is the mid-expansion
+    /// straggler probe for cohort dispatch: a rotating peek
+    /// ([`next_at_key`](Self::next_at_key)) would drain the *next* bucket
+    /// and silently disable same-bucket coalescing for every later push.
+    pub fn peek_key_at(&self, at: SimTime) -> Option<u128> {
+        let run = self.current.last().filter(|e| e.at == at).map(|e| e.seq);
+        let inx = self.inbox.peek().filter(|e| e.at == at).map(|e| e.seq);
+        match (run, inx) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// The `(timestamp, key)` pair of the next event to pop, or `None` if
+    /// empty — the full comparison tag a sharded drain needs to bound its
+    /// window against another queue's head. Same cursor-advancing caveat as
+    /// [`next_at`](Self::next_at).
+    pub fn next_at_key(&mut self) -> Option<(SimTime, u128)> {
         if !self.refill_current() {
             return None;
         }
         if self.inbox_is_next() {
-            self.inbox.peek().map(|e| e.at)
+            self.inbox.peek().map(|e| (e.at, e.seq))
         } else {
-            self.current.last().map(|e| e.at)
+            self.current.last().map(|e| (e.at, e.seq))
         }
+    }
+
+    /// The `(timestamp, key)` of the next event **only if it sorts below
+    /// `lim`** — `None` otherwise, in which case no bucket at or past `lim`
+    /// has been drained. This is the window guard for a sharded drain:
+    /// the plain rotating peek ([`next_at_key`](Self::next_at_key)) would,
+    /// at the end of a window, sort the *next* window's bucket into the
+    /// current run — and cross-shard mail for that bucket, ingested at the
+    /// next window's top, would then land behind the cursor in the inbox
+    /// heap where per-entry fan-outs cannot coalesce. Leaving the bucket
+    /// undrained keeps it open for slot-tail coalescing.
+    pub fn next_at_key_below(&mut self, lim: (SimTime, u128)) -> Option<(SimTime, u128)> {
+        if !self.current.is_empty() || !self.inbox.is_empty() {
+            // Already-drained material: answering from it costs nothing.
+            let nk = if self.inbox_is_next() {
+                self.inbox.peek().map(|e| (e.at, e.seq)).expect("inbox_is_next saw an entry")
+            } else {
+                let e = self.current.last().expect("checked non-empty");
+                (e.at, e.seq)
+            };
+            return (nk < lim).then_some(nk);
+        }
+        // Run and inbox are empty: find the pending minimum by inspection.
+        // Wheel buckets partition time, so the wheel region's minimum lives
+        // in the first occupied slot (an O(bucket) scan, once per window
+        // end — not per pop).
+        let slot_min = self.next_occupied_slot().and_then(|s| {
+            let pos = (s & self.slot_mask) as usize;
+            self.slots[pos].iter().map(|e| (e.at, e.seq)).min()
+        });
+        let ovf_min = self.overflow.peek().map(|e| (e.at, e.seq));
+        let next = match (slot_min, ovf_min) {
+            (Some(a), Some(b)) => a.min(b),
+            (a, b) => a.or(b)?,
+        };
+        if next >= lim {
+            return None;
+        }
+        // Something pops this window after all: let the rotating path do
+        // its normal drain (it stops at the bucket holding `next`).
+        let nk = self.next_at_key().expect("a pending minimum was just observed");
+        debug_assert_eq!(nk, next, "rotating peek must agree with the inspected minimum");
+        Some(nk)
     }
 
     /// Remove and return the earliest `(timestamp, seq)` event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.pop_keyed().map(|(at, _, item)| (at, item))
+    }
+
+    /// Remove and return the earliest event together with its tie-break key
+    /// (auto-assigned sequence or explicit [`push_keyed`](Self::push_keyed)
+    /// key).
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u128, T)> {
         if !self.refill_current() {
             return None;
         }
@@ -467,7 +622,24 @@ impl<T> TimerWheel<T> {
             self.current.pop().expect("refill_current returned true")
         };
         self.len -= 1;
-        Some((e.at, e.item))
+        Some((e.at, e.seq, e.item))
+    }
+
+    // ---- geometry (lookahead-horizon introspection) ----------------------
+
+    /// The wheel's effective bucket width in microseconds (the configured
+    /// value rounded up to a power of two).
+    pub fn granularity_us(&self) -> u64 {
+        1u64 << self.shift
+    }
+
+    /// How far past the cursor an event may land on the wheel proper, in
+    /// microseconds (`granularity × slots`). A sharded drain whose lookahead
+    /// window is much smaller than a bucket gains nothing from finer
+    /// granularity; one whose window exceeds the horizon pushes every
+    /// cross-shard arrival through the overflow heap.
+    pub fn horizon_us(&self) -> u64 {
+        self.granularity_us() * self.nslots as u64
     }
 }
 
@@ -480,7 +652,7 @@ mod tests {
     /// The reference implementation: the engine's former global heap.
     struct HeapRef<T> {
         heap: BinaryHeap<Entry<T>>,
-        next_seq: u64,
+        next_seq: u128,
     }
 
     impl<T> HeapRef<T> {
@@ -774,5 +946,62 @@ mod tests {
         }
         assert_eq!(streams[0], streams[1]);
         assert_eq!(streams[0], streams[2]);
+    }
+
+    #[test]
+    fn queue_keyed_pushes_pop_in_key_order_regardless_of_push_order() {
+        // Canonical-key pushes (sharded-engine style) must pop by (at, key)
+        // even when keys arrive out of order within a bucket, across wheel
+        // geometries, and through the keyed bulk path.
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let cfg = WheelConfig {
+                granularity_us: 1 << rng.random_range(0..10u32),
+                slots: 1 << rng.random_range(2..9u32),
+            };
+            let mut w = TimerWheel::new(cfg);
+            let mut expect: Vec<(SimTime, u128, u32)> = Vec::new();
+            let mut now = SimTime::ZERO;
+            let mut popped = 0usize;
+            let mut tag = 0u32;
+            for _ in 0..1_500 {
+                if rng.random::<f64>() < 0.55 || w.is_empty() {
+                    let at = now + crate::time::SimDuration(rng.random_range(0..6_000_000u64));
+                    // Keys mimic the engine's (rank << 64 | seq) shape and
+                    // are unique by construction (tag is globally unique).
+                    let key = ((rng.random_range(0..8u64) as u128) << 64) | tag as u128;
+                    if rng.random::<f64>() < 0.25 {
+                        let k = rng.random_range(1..4u32);
+                        let pairs: Vec<(u128, u32)> =
+                            (0..k).map(|i| (key + ((i as u128) << 64), tag + i)).collect();
+                        for &(kk, it) in &pairs {
+                            expect.push((at, kk, it));
+                        }
+                        tag += k;
+                        w.schedule_bulk_keyed(at, pairs);
+                    } else {
+                        w.push_keyed(at, key, tag);
+                        expect.push((at, key, tag));
+                        tag += 1;
+                    }
+                } else {
+                    let pending: &mut [(SimTime, u128, u32)] = &mut expect[popped..];
+                    pending.sort_unstable_by_key(|&(at, k, _)| (at, k));
+                    let want = pending.first().copied();
+                    assert_eq!(w.next_at_key(), want.map(|(at, k, _)| (at, k)));
+                    assert_eq!(w.pop_keyed(), want, "seed {seed} diverged");
+                    if let Some((at, _, _)) = want {
+                        now = at;
+                        popped += 1;
+                    }
+                }
+            }
+            let pending = &mut expect[popped..];
+            pending.sort_unstable_by_key(|&(at, k, _)| (at, k));
+            for &e in pending.iter() {
+                assert_eq!(w.pop_keyed(), Some(e), "seed {seed} diverged in drain");
+            }
+            assert!(w.pop_keyed().is_none());
+        }
     }
 }

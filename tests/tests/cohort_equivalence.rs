@@ -31,6 +31,47 @@ fn at_ms(ms: u64) -> SimTime {
     SimTime(ms * 1000)
 }
 
+/// How to partition the topology before the run starts.
+enum Partition {
+    /// `Sim::set_shards` — the balanced automatic partitioner.
+    Shards(usize),
+    /// `Sim::set_shard_bounds` — explicit fenceposts, for the randomized
+    /// partition property test.
+    Bounds(Vec<u32>),
+}
+
+impl Partition {
+    fn apply(&self, sim: &mut Sim) {
+        match self {
+            Partition::Shards(s) => sim.set_shards(*s),
+            Partition::Bounds(b) => sim.set_shard_bounds(b),
+        }
+    }
+}
+
+/// SplitMix64 step — the test's own tiny RNG for drawing random partitions,
+/// independent of the simulator's seeded streams.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draw a random valid fencepost array `[0, …, n]` with 2–5 shards.
+fn random_bounds(n: u32, state: &mut u64) -> Vec<u32> {
+    let shards = 2 + (splitmix(state) % 4) as u32;
+    let mut cuts = std::collections::BTreeSet::new();
+    while (cuts.len() as u32) < shards - 1 {
+        cuts.insert(1 + (splitmix(state) % u64::from(n - 1)) as u32);
+    }
+    let mut bounds = vec![0];
+    bounds.extend(cuts);
+    bounds.push(n);
+    bounds
+}
+
 /// Everything observable about a finished run except queue-entry counts.
 fn observe(sim: &Sim, trace: String) -> (String, String) {
     let mut stats = String::new();
@@ -50,9 +91,16 @@ fn observe(sim: &Sim, trace: String) -> (String, String) {
 /// An EXPRESS protocol run over a random graph: staggered joins, a data
 /// stream, a link flap and a loss burst (the loss burst keeps the *eager*
 /// per-endpoint RNG path in play alongside the deferred loss-free one).
-fn protocol_run(seed: u64, topo_seed: u64, batch: bool, wheel: WheelConfig) -> (String, String) {
+fn protocol_run(
+    seed: u64,
+    topo_seed: u64,
+    batch: bool,
+    wheel: WheelConfig,
+    partition: &Partition,
+) -> (String, String) {
     let g = topogen::random_connected(12, 5, 18, LinkSpec::default(), topo_seed);
     let mut sim = Sim::new_with_wheel(g.topo.clone(), seed, wheel);
+    partition.apply(&mut sim);
     sim.set_fanout_batching(batch);
     for &r in &g.routers {
         sim.set_agent(r, Box::new(EcmpRouter::new(RouterConfig::default())));
@@ -87,12 +135,13 @@ fn protocol_run(seed: u64, topo_seed: u64, batch: bool, wheel: WheelConfig) -> (
 /// A shared-LAN fan-out: one source host and `n` receivers on one
 /// multi-access segment — the deferral-heaviest shape (every send is one
 /// `Fanout` covering the whole LAN).
-fn lan_run(seed: u64, n: usize, batch: bool) -> (String, String) {
+fn lan_run(seed: u64, n: usize, batch: bool, shards: usize) -> (String, String) {
     let mut topo = Topology::new();
     let nodes: Vec<_> = (0..n + 1).map(|_| topo.add_host()).collect();
     topo.add_lan(&nodes, LinkSpec::lan()).unwrap();
     let chan = Channel::new(topo.ip(nodes[0]), 1).unwrap();
     let mut sim = Sim::new(topo, seed);
+    sim.set_shards(shards);
     sim.set_fanout_batching(batch);
     for &h in &nodes {
         sim.set_agent(h, Box::new(ExpressHost::new()));
@@ -123,9 +172,10 @@ fn lan_run(seed: u64, n: usize, batch: bool) -> (String, String) {
 fn batched_protocol_runs_match_reference_drain() {
     // Randomized over (rng seed, topology seed): same scenario through the
     // batched engine and the reference per-event drain.
+    let one = Partition::Shards(1);
     for (seed, topo_seed) in [(1u64, 101u64), (2, 202), (3, 303), (4, 404)] {
-        let (trace_b, stats_b) = protocol_run(seed, topo_seed, true, WheelConfig::default());
-        let (trace_r, stats_r) = protocol_run(seed, topo_seed, false, WheelConfig::default());
+        let (trace_b, stats_b) = protocol_run(seed, topo_seed, true, WheelConfig::default(), &one);
+        let (trace_r, stats_r) = protocol_run(seed, topo_seed, false, WheelConfig::default(), &one);
         assert_eq!(
             trace_b, trace_r,
             "trace diverged between batched and reference drain (seed {seed}, topo {topo_seed})"
@@ -140,8 +190,8 @@ fn batched_protocol_runs_match_reference_drain() {
 #[test]
 fn batched_lan_fanout_matches_reference_drain() {
     for (seed, n) in [(7u64, 3usize), (8, 17), (9, 64)] {
-        let (trace_b, stats_b) = lan_run(seed, n, true);
-        let (trace_r, stats_r) = lan_run(seed, n, false);
+        let (trace_b, stats_b) = lan_run(seed, n, true, 1);
+        let (trace_r, stats_r) = lan_run(seed, n, false, 1);
         assert_eq!(trace_b, trace_r, "trace diverged (seed {seed}, n {n})");
         assert_eq!(stats_b, stats_r, "stats diverged (seed {seed}, n {n})");
         assert!(
@@ -156,13 +206,73 @@ fn batching_is_wheel_granularity_independent() {
     // The deferral must commute with wheel geometry: batched runs on a fine
     // and a coarse wheel produce the same bytes as each other and as the
     // reference drain.
+    let one = Partition::Shards(1);
     let fine = WheelConfig::default();
     let coarse = WheelConfig { granularity_us: 1024, slots: 512 };
-    let (trace_f, stats_f) = protocol_run(11, 707, true, fine);
-    let (trace_c, stats_c) = protocol_run(11, 707, true, coarse);
-    let (trace_r, stats_r) = protocol_run(11, 707, false, WheelConfig::default());
+    let (trace_f, stats_f) = protocol_run(11, 707, true, fine, &one);
+    let (trace_c, stats_c) = protocol_run(11, 707, true, coarse, &one);
+    let (trace_r, stats_r) = protocol_run(11, 707, false, WheelConfig::default(), &one);
     assert_eq!(trace_f, trace_c, "batched trace depends on wheel granularity");
     assert_eq!(stats_f, stats_c, "batched stats depend on wheel granularity");
     assert_eq!(trace_f, trace_r, "batched trace diverged from reference drain");
     assert_eq!(stats_f, stats_r, "batched stats diverged from reference drain");
+}
+
+#[test]
+fn batched_cohorts_are_shard_count_independent() {
+    // The sharded parallel drain must commute with cohort batching: a
+    // protocol run partitioned over 2 or 4 worker shards produces the same
+    // bytes as the classic sequential engine, batched or not.
+    for batch in [true, false] {
+        let (trace_1, stats_1) =
+            protocol_run(5, 505, batch, WheelConfig::default(), &Partition::Shards(1));
+        for shards in [2usize, 4] {
+            let (trace_s, stats_s) =
+                protocol_run(5, 505, batch, WheelConfig::default(), &Partition::Shards(shards));
+            assert_eq!(trace_s, trace_1, "trace diverged at {shards} shards (batch {batch})");
+            assert_eq!(stats_s, stats_1, "stats diverged at {shards} shards (batch {batch})");
+        }
+    }
+}
+
+#[test]
+fn sharded_lan_fanout_matches_classic() {
+    // A single multi-access segment split across shards is the
+    // deferral-heaviest cross-shard shape: every send is one `Fanout`
+    // mirrored into every shard owning receivers on the LAN.
+    for (seed, n) in [(21u64, 17usize), (22, 64)] {
+        let (trace_1, stats_1) = lan_run(seed, n, true, 1);
+        for shards in [2usize, 4] {
+            let (trace_s, stats_s) = lan_run(seed, n, true, shards);
+            assert_eq!(trace_s, trace_1, "LAN trace diverged at {shards} shards (n {n})");
+            assert_eq!(stats_s, stats_1, "LAN stats diverged at {shards} shards (n {n})");
+        }
+        assert!(stats_1.contains("host.data_rx"), "scenario delivered nothing");
+    }
+}
+
+#[test]
+fn randomized_partitions_preserve_the_trace() {
+    // Property test: ANY valid contiguous partition — not just the balanced
+    // one `set_shards` picks — yields byte-identical output. Fenceposts are
+    // drawn at random (2–5 shards, arbitrary uneven cuts) from a seeded
+    // stream so failures replay.
+    let n = topogen::random_connected(12, 5, 18, LinkSpec::default(), 909)
+        .topo
+        .node_count() as u32;
+    let reference = protocol_run(13, 909, true, WheelConfig::default(), &Partition::Shards(1));
+    let mut state = 0xC0FF_EE00_u64;
+    for round in 0..6 {
+        let bounds = random_bounds(n, &mut state);
+        let got =
+            protocol_run(13, 909, true, WheelConfig::default(), &Partition::Bounds(bounds.clone()));
+        assert_eq!(
+            got.0, reference.0,
+            "trace diverged under partition {bounds:?} (round {round})"
+        );
+        assert_eq!(
+            got.1, reference.1,
+            "stats diverged under partition {bounds:?} (round {round})"
+        );
+    }
 }

@@ -38,14 +38,18 @@ fn at_ms(ms: u64) -> SimTime {
 /// flaps, a router crash + restart, and a 30% loss burst — every fault
 /// class `FaultPlan` models, all while tracing.
 fn run_storm(seed: u64) -> (String, String) {
-    run_storm_with(seed, WheelConfig::default())
+    run_storm_with(seed, WheelConfig::default(), 1)
 }
 
-/// Same storm, explicit timer-wheel geometry — the granularity-independence
-/// pin reruns it on a coarse wheel and demands the same golden bytes.
-fn run_storm_with(seed: u64, wheel: WheelConfig) -> (String, String) {
+/// Same storm, explicit timer-wheel geometry and shard count — the
+/// granularity-independence pin reruns it on a coarse wheel, the
+/// shard-independence pin reruns it partitioned 2- and 4-way, and both
+/// demand the same golden bytes.
+fn run_storm_with(seed: u64, wheel: WheelConfig, shards: usize) -> (String, String) {
     let g = topogen::random_connected(30, 10, 40, LinkSpec::default(), 77);
     let mut sim = Sim::new_with_wheel(g.topo.clone(), seed, wheel);
+    sim.set_shards(shards);
+    assert_eq!(sim.shard_count(), shards, "storm topology should partition {shards}-way");
     let cfg = RouterConfig::default();
     for &r in &g.routers {
         sim.set_agent(r, Box::new(EcmpRouter::new(cfg)));
@@ -86,7 +90,10 @@ fn run_storm_with(seed: u64, wheel: WheelConfig) -> (String, String) {
     let trace = sim.take_trace().expect("trace enabled").to_jsonl();
     let mut stats = String::new();
     let _ = writeln!(stats, "events_processed {}", sim.events_processed());
-    let _ = writeln!(stats, "peak_queue_depth {}", sim.peak_queue_depth());
+    // peak_queue_depth is deliberately NOT part of the golden: it is a
+    // capacity high-water mark, the one figure that legitimately depends
+    // on the shard count (per-shard queues peak independently). The scale
+    // benchmark regression gate pins it for single-shard runs instead.
     for (k, v) in sim.stats().named_counters() {
         let _ = writeln!(stats, "counter {k} {v}");
     }
@@ -146,7 +153,7 @@ fn fault_storm_is_wheel_granularity_independent() {
     // racks into the wheel — but the (at, seq) pop order, and therefore
     // every traced byte, must not move. Only run the comparison when the
     // goldens exist (BLESS_GOLDEN creates them via the primary test).
-    let (trace, stats) = run_storm_with(4242, WheelConfig { granularity_us: 1024, slots: 512 });
+    let (trace, stats) = run_storm_with(4242, WheelConfig { granularity_us: 1024, slots: 512 }, 1);
     if std::env::var_os("BLESS_GOLDEN").is_some() {
         return;
     }
@@ -156,4 +163,25 @@ fn fault_storm_is_wheel_granularity_independent() {
         .expect("golden stats missing; run with BLESS_GOLDEN=1 to create");
     assert_eq!(trace, want_trace, "trace diverged at non-default wheel granularity");
     assert_eq!(stats, want_stats, "stats diverged at non-default wheel granularity");
+}
+
+#[test]
+fn fault_storm_is_shard_count_independent() {
+    // The sharded engine's whole determinism contract in one pin: the
+    // identical storm — faults, loss burst, crash/restart, staggered joins
+    // — partitioned 2- and 4-way must reproduce the single-shard golden
+    // byte for byte: same trace (merged in canonical (time, key, sub)
+    // order), same counters, same per-link totals, same event count.
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        return;
+    }
+    let want_trace = std::fs::read_to_string(TRACE_GOLDEN)
+        .expect("golden trace missing; run with BLESS_GOLDEN=1 to create");
+    let want_stats = std::fs::read_to_string(STATS_GOLDEN)
+        .expect("golden stats missing; run with BLESS_GOLDEN=1 to create");
+    for shards in [2, 4] {
+        let (trace, stats) = run_storm_with(4242, WheelConfig::default(), shards);
+        assert_eq!(trace, want_trace, "trace diverged at {shards} shards");
+        assert_eq!(stats, want_stats, "stats diverged at {shards} shards");
+    }
 }
