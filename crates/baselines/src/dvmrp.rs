@@ -13,8 +13,10 @@ use crate::util;
 use express_wire::addr::Ipv4Addr;
 use express_wire::dvmrp::DvmrpMessage;
 use express_wire::ipv4::{self, Ipv4Repr, Protocol};
+use netsim::audit::{AuditNodeState, AuditRoute};
 use netsim::engine::{Agent, Ctx, Payload, Reliability, TopologyChange};
-use netsim::id::IfaceId;
+use netsim::id::{IfaceId, NodeId};
+use netsim::topology::Topology;
 use netsim::stats::TrafficClass;
 use netsim::time::{SimDuration, SimTime};
 use std::any::Any;
@@ -41,6 +43,12 @@ pub struct DvmrpRouter {
     /// Prunes we sent upstream: (S, G) → expiry (graft cancels).
     pruned_upstream: HashMap<(Ipv4Addr, Ipv4Addr), SimTime>,
     prune_lifetime: SimDuration,
+    /// Every (S, G) this router has accepted data for on the RPF
+    /// interface — the keys the audit truth snapshot reports routes for.
+    seen: std::collections::BTreeSet<(Ipv4Addr, Ipv4Addr)>,
+    /// Fault-injection flag: flood as if no local member existed (see
+    /// [`set_mis_pruning_for_audit_test`](Self::set_mis_pruning_for_audit_test)).
+    mis_prune: bool,
     /// Experiment counters.
     pub counters: DvmrpCounters,
     /// Interned handle for the per-packet forward counter (registered in
@@ -61,6 +69,8 @@ impl DvmrpRouter {
             pruned_downstream: HashMap::new(),
             pruned_upstream: HashMap::new(),
             prune_lifetime,
+            seen: std::collections::BTreeSet::new(),
+            mis_prune: false,
             counters: DvmrpCounters::default(),
             hot_data_fwd: None,
         }
@@ -70,6 +80,34 @@ impl DvmrpRouter {
     /// broadcast-and-prune pays even with zero local interest.
     pub fn prune_state_entries(&self) -> usize {
         self.pruned_downstream.len() + self.pruned_upstream.len()
+    }
+
+    /// Negative-test hook: make the router flood as if it had no local
+    /// group members — member interfaces are dropped from the flood set
+    /// and the router prunes upstream as soon as downstream routers do.
+    /// The audit truth snapshot keeps reporting the member interface, so
+    /// last-hop deliveries stop while the auditor still expects them and
+    /// the A4 recovery/delivery-gap check fires.
+    pub fn set_mis_pruning_for_audit_test(&mut self, on: bool) {
+        self.mis_prune = on;
+    }
+
+    /// [`Self::router_iface_mask`] recomputed from the shared topology —
+    /// the form the pure-read [`Agent::audit_state`] snapshot is allowed
+    /// to use (no `Ctx`): interfaces with at least one router neighbor.
+    fn router_iface_mask_topo(&self, topo: &Topology, node: NodeId) -> u32 {
+        let mut m = 0u32;
+        for i in 0..topo.iface_count(node) {
+            let iface = IfaceId(i as u8);
+            if topo
+                .neighbors_on(node, iface)
+                .iter()
+                .any(|&(n, _)| topo.kind(n) == netsim::NodeKind::Router)
+            {
+                m |= util::iface_bit(iface);
+            }
+        }
+        m
     }
 
     /// Port mask of interfaces with at least one router neighbor — the
@@ -131,6 +169,7 @@ impl DvmrpRouter {
             }
             return;
         }
+        self.seen.insert((s, g));
         if header.ttl <= 1 {
             return;
         }
@@ -147,7 +186,8 @@ impl DvmrpRouter {
                 oifs |= util::iface_bit(i);
             }
         }
-        oifs |= self.members.member_mask(g) & !util::iface_bit(iface);
+        let member_mask = if self.mis_prune { 0 } else { self.members.member_mask(g) };
+        oifs |= member_mask & !util::iface_bit(iface);
         if oifs != 0 {
             let out = util::patch_ttl(bytes, header.ttl - 1);
             ctx.send_fanout(oifs, &out, TrafficClass::Data, Reliability::Datagram);
@@ -158,7 +198,7 @@ impl DvmrpRouter {
             }
         }
         // No interested parties below us and none locally ⇒ prune upstream.
-        if oifs == 0 && self.members.member_mask(g) == 0 && !src_is_local {
+        if oifs == 0 && member_mask == 0 && !src_is_local {
             self.send_prune(ctx, s, g);
         }
     }
@@ -319,6 +359,28 @@ impl Agent for DvmrpRouter {
             self.pruned_downstream.clear();
             ctx.count("dvmrp.recovery_flush", 1);
         }
+    }
+
+    fn audit_state(&self, topo: &Topology, node: NodeId) -> Option<AuditNodeState> {
+        let router_mask = self.router_iface_mask_topo(topo, node);
+        let routes = self
+            .seen
+            .iter()
+            .map(|&(s, g)| AuditRoute {
+                // Broadcast-and-prune upper bound: every router interface
+                // plus every member interface. Live prunes only ever shrink
+                // the flood below this, so the mask stays a sound superset
+                // for the on-tree check. No subscriber counts exist in this
+                // model, so the count fields stay `None` and the A3 check
+                // skips these routes.
+                channel: format!("({s}, {g})"),
+                oif_mask: u64::from(router_mask | self.members.member_mask(g)),
+                upstream_iface: None,
+                advertised: None,
+                downstream_sum: None,
+            })
+            .collect();
+        Some(AuditNodeState { routes, ..Default::default() })
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -12,8 +12,10 @@ use crate::util;
 use express_wire::addr::Ipv4Addr;
 use express_wire::igmp::{GroupRecord, IgmpV2, IgmpV3, RecordType};
 use express_wire::ipv4::{self, Ipv4Repr, Protocol};
+use netsim::audit::AuditNodeState;
 use netsim::engine::{Agent, Ctx, Payload, Reliability, Tx};
 use netsim::id::{IfaceId, NodeId};
+use netsim::topology::Topology;
 use netsim::stats::TrafficClass;
 use netsim::time::{SimDuration, SimTime};
 use netsim::Sim;
@@ -81,6 +83,10 @@ pub struct GroupHost {
     pub filtered_out: u64,
     /// Interned delivery counter (registered in `on_start`).
     hot_data_rx: Option<netsim::CounterId>,
+    /// Groups this host has ever transmitted data to — the sender-side
+    /// truth the audit snapshot reports (the group model has no
+    /// single-source rule, so any member may appear here).
+    sent_groups: std::collections::BTreeSet<Ipv4Addr>,
 }
 
 const ACTION_BASE: u64 = 1 << 32;
@@ -100,6 +106,7 @@ impl GroupHost {
             reports_sent: 0,
             filtered_out: 0,
             hot_data_rx: None,
+            sent_groups: std::collections::BTreeSet::new(),
         }
     }
 
@@ -200,6 +207,7 @@ impl GroupHost {
                 }
             }
             GroupHostAction::SendData { group, payload_len } => {
+                self.sent_groups.insert(group);
                 let pkt = util::group_data(ctx.my_ip(), group, payload_len, util::DEFAULT_TTL);
                 ctx.send(IfaceId(0), &pkt, TrafficClass::Data, Reliability::Datagram, Tx::AllOnLink);
                 ctx.count("group.data_tx", 1);
@@ -308,6 +316,13 @@ impl Agent for GroupHost {
                 self.send_report(ctx, g);
             }
         }
+    }
+
+    fn audit_state(&self, _topo: &Topology, _node: NodeId) -> Option<AuditNodeState> {
+        let mut subscribed: Vec<String> = self.memberships.keys().map(|g| g.to_string()).collect();
+        subscribed.sort();
+        let sourcing = self.sent_groups.iter().map(|g| (g.to_string(), None)).collect();
+        Some(AuditNodeState { subscribed, sourcing, ..Default::default() })
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

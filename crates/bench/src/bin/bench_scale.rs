@@ -229,6 +229,12 @@ struct Measurement {
     delivered: u64,
     dijkstra_computes: u64,
     dijkstra_queries: u64,
+    /// Conservative-sync windows executed over the whole run (0 when
+    /// single-shard — the sharded engine's lookahead loop never ran).
+    sync_windows: u64,
+    /// Nanoseconds shards spent stalled at the window barrier, summed
+    /// across shards — the price of conservative synchronization.
+    sync_stall_ns: u64,
 }
 
 /// Drive `sim` through a warm-up window ending at `warm_until` and a
@@ -264,6 +270,7 @@ fn measure(
     let data_fwd = sim.stats().named("express.data_fwd") - fwd0;
     let delivered = sim.stats().named(delivered_key) - rx0;
     let sim_ms = (end - warm_until).micros() as f64 / 1e3;
+    let (sync_windows, sync_stall_ns) = sim.sync_stats();
     let m = Measurement {
         name: name.into(),
         topology: topology.into(),
@@ -288,11 +295,19 @@ fn measure(
         delivered,
         dijkstra_computes: sim.routing().compute_count(),
         dijkstra_queries: sim.routing().query_count(),
+        sync_windows,
+        sync_stall_ns,
     };
     eprintln!(
         "  {:<18} {:>9} subs  {:>2} shard(s)  {:>11} events  {:>9.0} ev/s  {:>7.1} ms wall  peakq {:>8}  {:>6.2} allocs/ev",
         m.name, m.subscribers, m.shards, m.events, m.events_per_sec, m.wall_ms, m.peak_queue_depth, m.allocs_per_event
     );
+    if m.shards > 1 {
+        eprintln!(
+            "  {:<18} sync: {} windows, {:.1} ms stalled at barriers",
+            "", m.sync_windows, m.sync_stall_ns as f64 / 1e6
+        );
+    }
     m
 }
 
@@ -546,7 +561,7 @@ fn scenario_json(m: &Measurement, speedup: Option<f64>) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "    {{\n      \"name\": \"{}\",\n      \"topology\": \"{}\",\n      \"nodes\": {},\n      \"links\": {},\n      \"subscribers\": {},\n      \"shards\": {},\n      \"warmup_packets\": {},\n      \"measured_packets\": {},\n      \"setup_ms\": {:.1},\n      \"setup_allocs\": {},\n      \"events\": {},\n      \"sim_ms\": {:.1},\n      \"wall_ms\": {:.1},\n      \"events_per_sec\": {:.0},\n      \"wall_ms_per_sim_sec\": {:.1},\n      \"peak_queue_depth\": {},\n      \"allocs\": {},\n      \"allocs_per_event\": {:.3},\n      \"data_fwd\": {},\n      \"allocs_per_fwd\": {:.3},\n      \"delivered\": {},\n      \"dijkstra_computes\": {},\n      \"dijkstra_queries\": {}",
+        "    {{\n      \"name\": \"{}\",\n      \"topology\": \"{}\",\n      \"nodes\": {},\n      \"links\": {},\n      \"subscribers\": {},\n      \"shards\": {},\n      \"warmup_packets\": {},\n      \"measured_packets\": {},\n      \"setup_ms\": {:.1},\n      \"setup_allocs\": {},\n      \"events\": {},\n      \"sim_ms\": {:.1},\n      \"wall_ms\": {:.1},\n      \"events_per_sec\": {:.0},\n      \"wall_ms_per_sim_sec\": {:.1},\n      \"peak_queue_depth\": {},\n      \"allocs\": {},\n      \"allocs_per_event\": {:.3},\n      \"data_fwd\": {},\n      \"allocs_per_fwd\": {:.3},\n      \"delivered\": {},\n      \"dijkstra_computes\": {},\n      \"dijkstra_queries\": {},\n      \"sync_windows\": {},\n      \"sync_stall_ns\": {}",
         m.name,
         m.topology,
         m.nodes,
@@ -569,7 +584,9 @@ fn scenario_json(m: &Measurement, speedup: Option<f64>) -> String {
         m.allocs_per_fwd,
         m.delivered,
         m.dijkstra_computes,
-        m.dijkstra_queries
+        m.dijkstra_queries,
+        m.sync_windows,
+        m.sync_stall_ns
     );
     if let Some(x) = speedup {
         let _ = write!(s, ",\n      \"speedup_vs_baseline\": {x:.2}");

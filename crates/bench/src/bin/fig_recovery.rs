@@ -35,7 +35,10 @@ use express_wire::addr::{Channel, Ipv4Addr};
 use mcast_baselines::igmp::{GroupHost, GroupHostAction, IgmpVersion};
 use mcast_baselines::{DvmrpRouter, PimConfig, PimRouter};
 use netsim::topology::LinkSpec;
-use netsim::{FaultPlan, LinkId, MetricsConfig, NodeId, Sim, SimDuration, Topology};
+use netsim::{
+    extract_auditor, AuditCheck, AuditConfig, Auditor, FaultPlan, LinkId, MetricsConfig, NodeId,
+    RecoveryBounds, Sim, SimDuration, Topology,
+};
 
 const STREAM_START_MS: u64 = 500;
 const STREAM_END_MS: u64 = 20_000;
@@ -89,12 +92,18 @@ struct RunResult {
     /// time in µs (`None` if delivery never resumed).
     reconvergence: Vec<(String, Option<u64>)>,
     counters: Vec<(&'static str, u64)>,
+    /// Delivery-latency quantiles from the auditor's histogram (µs).
+    latency_p50_us: Option<u64>,
+    latency_p99_us: Option<u64>,
+    /// Check ids waived for this protocol (e.g. "A2" for PIM-SM).
+    audit_waived: Vec<&'static str>,
 }
 
 /// Drive the shared fault script. `delivered` reads the receiver's
 /// cumulative data count; `schedule_send` queues one stream packet; the
 /// delivery timeline comes from the metrics series of `delivery_key`
 /// (bucketed at count time by the engine — no driver-side stepping).
+#[allow(clippy::too_many_arguments)]
 fn run_script(
     name: &'static str,
     mut sim: Sim,
@@ -103,8 +112,23 @@ fn run_script(
     delivered: &dyn Fn(&mut Sim) -> u64,
     counter_names: &[&'static str],
     delivery_key: &str,
+    audit: AuditConfig,
 ) -> RunResult {
     sim.enable_metrics(MetricsConfig::default().bucket(SimDuration::from_millis(BUCKET_MS)));
+    // Online invariant auditing (checks A1–A4): the run must come back
+    // clean or the experiment aborts with the audit report. The bounds are
+    // deliberately generous — reconvergence here is tens of ms, and the
+    // only long outage is the scripted 1 s loss burst (not a topology
+    // mark, so it shows up as a delivery gap, bounded at 1.5 s).
+    let audit_waived: Vec<&'static str> = audit.disabled.iter().map(|c| c.id()).collect();
+    sim.add_trace_sink(Box::new(Auditor::new(audit.recovery_bounds(
+        RecoveryBounds {
+            max_reconvergence: SimDuration::from_millis(1_000),
+            max_gap: SimDuration::from_millis(1_500),
+            stream_start: at_ms(STREAM_START_MS),
+            stream_end: at_ms(STREAM_END_MS),
+        },
+    ))));
     let mut t = STREAM_START_MS;
     let mut sent = 0u64;
     while t <= STREAM_END_MS {
@@ -113,8 +137,10 @@ fn run_script(
         t += STREAM_PERIOD_MS;
     }
 
-    // Let the tree settle, then fault whichever middle link it uses.
+    // Let the tree settle, then fault whichever middle link it uses. The
+    // settled instant is quiescent, so counts are checked here too (A3).
     sim.run_until(at_ms(4_500));
+    sim.audit_checkpoint();
     let busier = if sim.stats().link(d.l13).data_packets >= sim.stats().link(d.l23).data_packets {
         d.l13
     } else {
@@ -127,6 +153,7 @@ fn run_script(
         .loss_burst(d.access, at_ms(17_000), 1.0, SimDuration::from_secs(1))
         .apply(&mut sim);
     sim.run_until(at_ms(RUN_END_MS));
+    sim.audit_checkpoint();
 
     let delivered_total = delivered(&mut sim);
     let m = sim.metrics().expect("metrics enabled above");
@@ -152,6 +179,13 @@ fn run_script(
         .iter()
         .map(|&n| (n, sim.stats().named(n)))
         .collect();
+    let auditor = extract_auditor(sim.finish_trace().expect("trace enabled by add_trace_sink"))
+        .expect("auditor attached above");
+    let report = auditor.report();
+    if !report.clean {
+        eprintln!("{}", report.to_text());
+        panic!("{name}: audit found {} violation(s)", report.violations.len());
+    }
     RunResult {
         name,
         sent,
@@ -161,6 +195,9 @@ fn run_script(
         gaps_ms,
         reconvergence,
         counters,
+        latency_p50_us: report.latency.quantile(0.5),
+        latency_p99_us: report.latency.quantile(0.99),
+        audit_waived,
     }
 }
 
@@ -194,6 +231,7 @@ fn express_run(name: &'static str, cfg: RouterConfig) -> RunResult {
             "ecmp.expire",
         ],
         "host.data_rx",
+        AuditConfig::default(),
     )
 }
 
@@ -239,6 +277,16 @@ fn baseline_run(name: &'static str, pim: bool) -> RunResult {
         &move |sim: &mut Sim| sim.agent_as::<GroupHost>(rcv).map(|h| h.data_received(group()) as u64).unwrap_or(0),
         counters,
         "group.data_rx",
+        if pim {
+            // PIM-SM's register tunnel legally duplicates data during the
+            // register→native transition (the RP forwards both the
+            // decapsulated register copy and the native copy until its
+            // register-stop reaches the DR), so the no-dup check is waived
+            // for this protocol. Everything else still applies.
+            AuditConfig::default().disable(AuditCheck::NoDupNoLoop)
+        } else {
+            AuditConfig::default()
+        },
     )
 }
 
@@ -393,6 +441,14 @@ fn main() {
                 Some(us) => println!("  reconvergence after {label}: {:.1} ms", *us as f64 / 1e3),
                 None => println!("  reconvergence after {label}: never"),
             }
+        }
+        if let (Some(p50), Some(p99)) = (r.latency_p50_us, r.latency_p99_us) {
+            println!("  delivery latency p50 <= {p50} µs, p99 <= {p99} µs");
+        }
+        if r.audit_waived.is_empty() {
+            println!("  audit: clean (checks A1-A4)");
+        } else {
+            println!("  audit: clean (checks A1-A4, {} waived)", r.audit_waived.join("/"));
         }
         for (k, v) in &r.counters {
             if *v > 0 {

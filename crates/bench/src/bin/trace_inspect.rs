@@ -19,8 +19,8 @@ use express_bench::harness::at_ms;
 use express_wire::addr::Channel;
 use netsim::stats::TrafficClass;
 use netsim::topology::LinkSpec;
-use netsim::trace::{TraceBuffer, TraceEvent, TraceKind, TraceMeta};
-use netsim::{Histogram, NodeId, Sim, Topology, TraceConfig};
+use netsim::trace::{TraceBuffer, TraceEvent, TraceKind, TraceMeta, TraceSink};
+use netsim::{Auditor, Histogram, NodeId, Sim, Topology, TraceConfig};
 use std::collections::BTreeMap;
 
 /// Events shown per node before the timeline truncates.
@@ -176,10 +176,11 @@ fn print_latency_histograms(events: &[TraceEvent]) {
     }
     for (chan, h) in &per_chan {
         println!(
-            "-- chan {chan}: {} deliveries, min {} us, mean {:.0} us, max {} us --",
+            "-- chan {chan}: {} deliveries, min {} us, p50 {} us, p99 {} us, max {} us --",
             h.count(),
             h.min().unwrap_or(0),
-            h.mean().unwrap_or(0.0),
+            h.quantile(0.5).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
             h.max().unwrap_or(0),
         );
         let peak = h.buckets().map(|(_, c)| c).max().unwrap_or(1).max(1);
@@ -240,10 +241,28 @@ fn print_meta(meta: &TraceMeta) {
     }
 }
 
+/// Replay a captured event stream through the [`Auditor`] offline. The
+/// stream carries no engine snapshots, so only the event-shaped checks run
+/// (A2 always; A4 when it ever grows bounds here) — A1/A3 need the live
+/// engine's truth snapshots and are reported as not evaluated.
+fn run_offline_audit(events: &[TraceEvent]) -> bool {
+    println!("\n== offline audit (checks A2; A1/A3 need live snapshots, A4 needs bounds) ==");
+    let mut auditor = Auditor::default();
+    for e in events {
+        auditor.record(e.clone());
+    }
+    auditor.flush().and_then(|()| auditor.finish()).expect("in-memory auditor cannot fail io");
+    let report = auditor.report();
+    print!("{}", report.to_text());
+    report.clean
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let audit = args.iter().any(|a| a == "--audit");
+    args.retain(|a| a != "--audit");
     let events: Vec<TraceEvent> = match args.first().map(String::as_str) {
-        Some("--demo") => {
+        Some("--demo") if args.len() == 1 => {
             println!("=== trace_inspect --demo: capture, export, re-import, render ===\n");
             let captured = demo_trace();
             // Round-trip through the JSONL exporter so the file format is
@@ -272,7 +291,7 @@ fn main() {
             TraceBuffer::parse_jsonl(&text)
         }
         _ => {
-            eprintln!("usage: trace_inspect <trace.jsonl> | --demo");
+            eprintln!("usage: trace_inspect [--audit] <trace.jsonl> | --demo");
             std::process::exit(2);
         }
     };
@@ -282,4 +301,7 @@ fn main() {
     print_timeline(&events);
     print_latency_histograms(&events);
     print_paths(&buf);
+    if audit && !run_offline_audit(&events) {
+        std::process::exit(1);
+    }
 }

@@ -30,8 +30,10 @@ use crate::packets::{self, Classified, EcmpMode};
 use crate::proactive::ErrorToleranceCurve;
 use express_wire::addr::{Channel, Ipv4Addr};
 use express_wire::ecmp::{ChannelKey, Count, CountId, CountQuery, CountResponse, EcmpMessage, ResponseStatus};
+use netsim::audit::AuditNodeState;
 use netsim::engine::{Agent, Ctx, Payload, Reliability, Tx};
 use netsim::id::{IfaceId, NodeId};
+use netsim::topology::Topology;
 use netsim::stats::{CounterId, TrafficClass};
 use netsim::time::{SimDuration, SimTime};
 use netsim::Sim;
@@ -221,6 +223,11 @@ pub struct ExpressHost {
     hot_ecmp_tx: Option<CounterId>,
     hot_data_tx: Option<CounterId>,
     hot_subcast_tx: Option<CounterId>,
+    /// Channels this host has ever transmitted data on — the sender-side
+    /// truth the auditor's single-source check reads. Sending does not
+    /// create `sourced` soft state (that needs a key install), so this is
+    /// tracked separately.
+    sent_channels: std::collections::BTreeSet<Channel>,
     /// Append a [`HostEvent::DataReceived`] entry per delivered data packet
     /// (on by default). Harnesses that only read counters can switch this
     /// off so the steady-state receive path never grows the event `Vec`
@@ -258,6 +265,7 @@ impl ExpressHost {
             hot_ecmp_tx: None,
             hot_data_tx: None,
             hot_subcast_tx: None,
+            sent_channels: std::collections::BTreeSet::new(),
             log_data_events: true,
         }
     }
@@ -438,6 +446,7 @@ impl ExpressHost {
                 }
             }
             HostAction::SendData { channel, payload_len } => {
+                self.sent_channels.insert(channel);
                 let pkt = packets::channel_data(channel, payload_len, packets::DEFAULT_TTL);
                 // Out every interface (hosts have one); the network enforces
                 // the single-source rule, not the sender.
@@ -828,6 +837,30 @@ impl Agent for ExpressHost {
                 });
             }
         }
+    }
+
+    fn audit_state(&self, _topo: &Topology, _node: NodeId) -> Option<AuditNodeState> {
+        let mut subscribed: Vec<String> = self
+            .subscriptions
+            .iter()
+            .filter(|(_, sub)| sub.confirmed)
+            .map(|(chan, _)| chan.to_string())
+            .collect();
+        subscribed.sort();
+        // Sourcing truth: channels with source soft state carry the latest
+        // subscriber estimate; channels merely transmitted on report `None`.
+        let mut sourcing: Vec<(String, Option<u64>)> = self
+            .sourced
+            .iter()
+            .map(|(chan, st)| (chan.to_string(), Some(st.last_estimate)))
+            .collect();
+        for chan in &self.sent_channels {
+            if !self.sourced.contains_key(chan) {
+                sourcing.push((chan.to_string(), None));
+            }
+        }
+        sourcing.sort();
+        Some(AuditNodeState { subscribed, sourcing, ..Default::default() })
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

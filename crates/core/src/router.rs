@@ -37,8 +37,10 @@ use express_wire::ecmp::{
 };
 use express_wire::fib::FibEntry;
 use express_wire::ipv4::{self, Ipv4Repr};
+use netsim::audit::{AuditNodeState, AuditRoute};
 use netsim::engine::{Agent, Ctx, Payload, Reliability, Tx};
-use netsim::id::IfaceId;
+use netsim::id::{IfaceId, NodeId};
+use netsim::topology::Topology;
 use netsim::stats::{CounterId, TrafficClass};
 use netsim::time::{SimDuration, SimTime};
 use netsim::transport::RttEstimator;
@@ -319,6 +321,18 @@ impl EcmpRouter {
     /// propagate counts, exactly like a manually configured route.
     pub fn install_static_route(&mut self, entry: FibEntry) {
         self.fib.install(entry);
+    }
+
+    /// Skew the advertised upstream count for `channel` without
+    /// re-aggregating the downstream entries. The router's truth snapshot
+    /// ([`Agent::audit_state`]) keeps reporting the skewed `advertised`
+    /// against the honest `downstream_sum`, so the auditor's A3 count
+    /// check fires. Negative-test hook only: real code paths always set
+    /// `advertised` from the aggregate of validated downstream entries.
+    pub fn skew_advertised_for_audit_test(&mut self, channel: Channel, delta: u64) {
+        if let Some(st) = self.channels.get_mut(&channel) {
+            st.advertised = st.advertised.saturating_add(delta);
+        }
     }
 
     /// Number of channels with protocol state.
@@ -1688,6 +1702,22 @@ impl Agent for EcmpRouter {
     fn on_route_change(&mut self, ctx: &mut Ctx<'_>) {
         self.reevaluate_upstreams(ctx);
         self.flush_tx(ctx);
+    }
+
+    fn audit_state(&self, _topo: &Topology, _node: NodeId) -> Option<AuditNodeState> {
+        let mut routes: Vec<AuditRoute> = self
+            .channels
+            .iter()
+            .map(|(chan, st)| AuditRoute {
+                channel: chan.to_string(),
+                oif_mask: u64::from(st.oif_mask()),
+                upstream_iface: st.upstream.map(|(iface, _)| iface),
+                advertised: Some(st.advertised),
+                downstream_sum: Some(st.aggregate()),
+            })
+            .collect();
+        routes.sort_by(|a, b| a.channel.cmp(&b.channel));
+        Some(AuditNodeState { routes, ..Default::default() })
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -1,0 +1,1146 @@
+//! Online protocol auditor: streaming invariant checks over the live trace.
+//!
+//! The trace layer already carries everything needed to *prove* the paper's
+//! correctness story per run — data stays on the single-source tree (§2),
+//! counts converge to subscriber truth within `e_max` (§3.2/§5), recovery
+//! completes within the `docs/FAILURE_MODEL.md` bounds. [`Auditor`] is a
+//! [`TraceSink`] that checks those invariants while the run executes:
+//! attach it beside the capture sink with
+//! [`Sim::add_trace_sink`](crate::engine::Sim::add_trace_sink) (which tees
+//! the stream), and it costs *nothing* when not attached — the engine's
+//! trace path is untouched.
+//!
+//! Checks, each with a stable id cross-referenced from
+//! `docs/FAILURE_MODEL.md`:
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | **A1** | on-tree: every data transmission uses only links on the channel's current source tree (evaluated against engine snapshots at checkpoints) |
+//! | **A2** | no-dup / no-loop: at most one delivery per (causal root, receiver); no repeated transmission of one causal chain over the same (node, link) |
+//! | **A3** | count convergence: per-router advertised counts match validated downstream sums, and the root's advertised count matches subscriber truth, within a configured slack (evaluated at quiescent checkpoints) |
+//! | **A4** | recovery bounds: post-fault reconvergence times and delivery gaps stay within [`RecoveryBounds`] (evaluated once, at [`finish`](TraceSink::finish)) |
+//!
+//! A violation is a structured [`AuditViolation`]: the check id, the causal
+//! root, the offending event, and a bounded window of preceding events on
+//! that chain (breach localization). [`Auditor::report`] renders the
+//! verdict plus a per-run health summary as text or `audit/v1` JSON lines
+//! (schema in `docs/OBSERVABILITY.md`).
+//!
+//! The auditor needs the **unsampled** stream: causal sampling
+//! ([`TraceConfig::sample_one_in`]) would hide entire chains from the
+//! checks, so [`TraceSink::on_attach`] panics if sampling is configured.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use crate::id::{IfaceId, LinkId, NodeId};
+use crate::metrics::{Histogram, Metrics, MetricsConfig, DEFAULT_LATENCY_BOUNDS_US};
+use crate::stats::TrafficClass;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{
+    write_jsonl_line, write_str_field, PacketId, TraceConfig, TraceEvent, TraceKind, TraceSink, Tee,
+};
+
+/// `audit/v1` — the report schema version.
+pub const AUDIT_SCHEMA: &str = "audit/v1";
+
+// ---- snapshot types (filled in by the engine) ----------------------------
+
+/// One multicast route as an agent reports it for auditing: the forwarding
+/// state the node *intends*, independent of the FIB actually driving its
+/// data path — which is exactly what lets the auditor catch a corrupted
+/// FIB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRoute {
+    /// Channel / group label (the [`Display`](std::fmt::Display) form used
+    /// in trace events, e.g. `(10.0.0.5, 232.0.0.1)`).
+    pub channel: String,
+    /// Interfaces data is forwarded out of, as a bitmask (bit `i` =
+    /// interface `i`).
+    pub oif_mask: u64,
+    /// The interface toward the source, if the protocol tracks one.
+    pub upstream_iface: Option<IfaceId>,
+    /// The subscriber count this node advertises upstream (EXPRESS ECMP
+    /// counting; `None` for protocols without counts).
+    pub advertised: Option<u64>,
+    /// The sum of validated downstream counts (what `advertised` should
+    /// equal after quiescence; `None` for protocols without counts).
+    pub downstream_sum: Option<u64>,
+}
+
+/// What one node reports for auditing: its routes plus its host-side
+/// subscribe/source state. Returned by
+/// [`Agent::audit_state`](crate::engine::Agent::audit_state); nodes that
+/// return `None` are exempt from per-node checks (the auditor cannot know
+/// their tree).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditNodeState {
+    /// Router-side per-channel forwarding intent.
+    pub routes: Vec<AuditRoute>,
+    /// Host-side: channels this node is a confirmed subscriber of
+    /// (label format must match [`AuditRoute::channel`]).
+    pub subscribed: Vec<String>,
+    /// Host-side: channels this node sources data on, with the source's
+    /// own subscriber estimate when the protocol maintains one.
+    pub sourcing: Vec<(String, Option<u64>)>,
+}
+
+/// Per-channel ground truth assembled from an engine sweep of
+/// [`AuditNodeState`]s, resolved against the topology.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelTruth {
+    /// Every router's `(node, advertised, downstream_sum)` for this
+    /// channel, when both counts are reported.
+    pub routers: Vec<(NodeId, u64, u64)>,
+    /// The root router's advertised count — the router whose upstream
+    /// interface faces a host sourcing this channel.
+    pub root_advertised: Option<(NodeId, u64)>,
+    /// How many audited hosts are subscribed to this channel right now.
+    pub subscribers: u64,
+    /// The source host's own subscriber estimate, when it has one.
+    pub source_estimate: Option<(NodeId, u64)>,
+}
+
+/// A point-in-time view of protocol truth, captured by
+/// [`Sim::audit_snapshot`](crate::engine::Sim::audit_snapshot) and fed to
+/// [`Auditor::apply_snapshot`]. Drives A1 (allowed transmission set) and
+/// A3 (count truth).
+#[derive(Debug, Clone, Default)]
+pub struct AuditSnapshot {
+    /// When the snapshot was taken.
+    pub at: SimTime,
+    /// Nodes that reported audit state — transmissions by any other node
+    /// are exempt from A1 (the auditor cannot know their tree).
+    pub audited: BTreeSet<NodeId>,
+    /// `(node, link)` pairs on some channel's current source tree: the
+    /// only places an audited node may put *data* traffic on the wire.
+    pub allowed: BTreeSet<(NodeId, LinkId)>,
+    /// Per-channel count truth, keyed by channel label.
+    pub channels: BTreeMap<String, ChannelTruth>,
+}
+
+// ---- violations ----------------------------------------------------------
+
+/// Which invariant family a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AuditCheck {
+    /// A1 — data stays on the source tree.
+    OnTree,
+    /// A2 — no duplicate delivery, no forwarding loop.
+    NoDupNoLoop,
+    /// A3 — advertised counts converge to subscriber truth.
+    CountConvergence,
+    /// A4 — post-fault recovery within the failure-model bounds.
+    RecoveryBounds,
+}
+
+impl AuditCheck {
+    /// The stable id used in reports and `docs/FAILURE_MODEL.md` ("A1" …
+    /// "A4").
+    pub fn id(self) -> &'static str {
+        match self {
+            AuditCheck::OnTree => "A1",
+            AuditCheck::NoDupNoLoop => "A2",
+            AuditCheck::CountConvergence => "A3",
+            AuditCheck::RecoveryBounds => "A4",
+        }
+    }
+}
+
+impl std::fmt::Display for AuditCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One invariant breach, localized: which check, when, on which causal
+/// chain, the offending event, and a bounded window of the chain's
+/// preceding events.
+#[derive(Debug, Clone)]
+pub struct AuditViolation {
+    /// The check that fired.
+    pub check: AuditCheck,
+    /// Simulated time of the breach (for checkpoint checks: the snapshot
+    /// time).
+    pub at: SimTime,
+    /// The causal root of the offending chain, when the breach is tied to
+    /// one.
+    pub root: Option<PacketId>,
+    /// One-line human-readable description.
+    pub summary: String,
+    /// The event that tripped the check, when the breach is event-shaped.
+    pub offending: Option<TraceEvent>,
+    /// Up to [`AuditConfig::window_len`] preceding events on the same
+    /// causal chain, oldest first.
+    pub window: Vec<TraceEvent>,
+}
+
+// ---- configuration -------------------------------------------------------
+
+/// Per-protocol recovery bounds for the A4 check, mirroring the bounds
+/// table in `docs/FAILURE_MODEL.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryBounds {
+    /// Maximum allowed reconvergence time after any fault mark (first
+    /// delivery after the fault). A fault with *no* subsequent delivery
+    /// violates too, unless it lands within `max_reconvergence` of
+    /// `stream_end`.
+    pub max_reconvergence: SimDuration,
+    /// Maximum allowed delivery gap inside the steady-state stream window.
+    pub max_gap: SimDuration,
+    /// Start of the window in which deliveries are expected.
+    pub stream_start: SimTime,
+    /// End of the window in which deliveries are expected.
+    pub stream_end: SimTime,
+}
+
+/// Configuration for [`Auditor`].
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Events of breach-localization context kept per causal chain.
+    pub window_len: usize,
+    /// Causal chains tracked concurrently (oldest evicted first).
+    pub max_roots: usize,
+    /// Allowed absolute difference in the A3 count comparisons — the
+    /// quiescent `e_max` tolerance (0 = exact).
+    pub count_slack: u64,
+    /// When set, A4 is evaluated at [`finish`](TraceSink::finish).
+    pub recovery: Option<RecoveryBounds>,
+    /// Check families switched off for this run. Empty by default; used
+    /// for protocols whose correct behavior legally breaks an invariant
+    /// (e.g. PIM-SM's register tunnel duplicates data during the
+    /// register→native transition, so its runs waive A2).
+    pub disabled: Vec<AuditCheck>,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            window_len: 8,
+            max_roots: 4096,
+            count_slack: 0,
+            recovery: None,
+            disabled: Vec::new(),
+        }
+    }
+}
+
+impl AuditConfig {
+    /// Set the per-chain breach-localization window length.
+    pub fn window_len(mut self, n: usize) -> Self {
+        self.window_len = n;
+        self
+    }
+
+    /// Set how many causal chains are tracked concurrently.
+    pub fn max_roots(mut self, n: usize) -> Self {
+        self.max_roots = n.max(1);
+        self
+    }
+
+    /// Set the A3 count tolerance.
+    pub fn count_slack(mut self, slack: u64) -> Self {
+        self.count_slack = slack;
+        self
+    }
+
+    /// Enable the A4 check with the given bounds.
+    pub fn recovery_bounds(mut self, bounds: RecoveryBounds) -> Self {
+        self.recovery = Some(bounds);
+        self
+    }
+
+    /// Switch a check family off for this run.
+    pub fn disable(mut self, check: AuditCheck) -> Self {
+        if !self.disabled.contains(&check) {
+            self.disabled.push(check);
+        }
+        self
+    }
+
+    /// Is `check` active under this configuration?
+    pub fn enabled(&self, check: AuditCheck) -> bool {
+        !self.disabled.contains(&check)
+    }
+}
+
+// ---- the auditor ---------------------------------------------------------
+
+/// Per-causal-chain streaming state.
+#[derive(Debug, Default)]
+struct RootState {
+    /// Receivers that already got a delivery from this chain (A2 dup).
+    delivered: BTreeSet<NodeId>,
+    /// `(node, link)` transmissions already seen on this chain (A2 loop).
+    tx_links: BTreeSet<(NodeId, LinkId)>,
+    /// Bounded window of this chain's events, oldest first.
+    window: VecDeque<TraceEvent>,
+}
+
+/// Per-run event counts for the health summary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AuditHealth {
+    /// `pkt_tx` records seen.
+    pub pkt_tx: u64,
+    /// `pkt_rx` records seen.
+    pub pkt_rx: u64,
+    /// `drop` records seen.
+    pub drops: u64,
+    /// `timer` records seen.
+    pub timers: u64,
+    /// `topo` records seen.
+    pub topo: u64,
+    /// `proto` records seen.
+    pub proto: u64,
+    /// Distinct data-plane causal roots (original sends).
+    pub data_roots: u64,
+    /// Watched-counter deliveries observed.
+    pub deliveries: u64,
+}
+
+impl AuditHealth {
+    /// Total records seen.
+    pub fn events(&self) -> u64 {
+        self.pkt_tx + self.pkt_rx + self.drops + self.timers + self.topo + self.proto
+    }
+}
+
+/// A prior snapshot's A1 inputs: the allowed `(node, link)` set and the
+/// set of nodes that supplied an [`AuditNodeState`] at the time.
+type PrevSnapshot = (BTreeSet<(NodeId, LinkId)>, BTreeSet<NodeId>);
+
+/// The streaming invariant checker. Implements [`TraceSink`]; attach it
+/// with [`Sim::add_trace_sink`](crate::engine::Sim::add_trace_sink) (live)
+/// or feed it parsed events via [`TraceSink::record`] (offline replay —
+/// `trace_inspect --audit`).
+pub struct Auditor {
+    cfg: AuditConfig,
+    violations: Vec<AuditViolation>,
+    health: AuditHealth,
+    latency: Histogram,
+    /// Watched delivery counter names (from [`MetricsConfig::watch`]).
+    watch: Vec<String>,
+    /// Data transmissions since the last snapshot: `(node, link)` → first
+    /// event that used the pair (A1 input).
+    used: BTreeMap<(NodeId, LinkId), TraceEvent>,
+    /// The previous snapshot's allowed set + audited set: A1 judges an
+    /// interval against the union of its two bracketing snapshots, so a
+    /// mid-interval tree change (or a crash that destroys an agent before
+    /// the closing snapshot) cannot false-positive.
+    prev: Option<PrevSnapshot>,
+    snapshots: u64,
+    /// Per-chain A2 state, FIFO-bounded by `cfg.max_roots`.
+    roots: HashMap<u64, RootState>,
+    root_order: VecDeque<u64>,
+    /// Last data arrival per node, consumed by the matching watched proto
+    /// event at the same timestamp to form a delivery (root, receiver).
+    recent_rx: HashMap<NodeId, (SimTime, u64)>,
+    /// Embedded metrics: fault marks + watched delivery timestamps drive
+    /// the A4 evaluation via
+    /// [`reconvergence_after`](Metrics::reconvergence_after) /
+    /// [`delivery_gaps`](Metrics::delivery_gaps).
+    metrics: Metrics,
+    last_at: SimTime,
+    finished: bool,
+}
+
+impl Default for Auditor {
+    fn default() -> Self {
+        Auditor::new(AuditConfig::default())
+    }
+}
+
+impl std::fmt::Debug for Auditor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Auditor")
+            .field("violations", &self.violations.len())
+            .field("events", &self.health.events())
+            .field("snapshots", &self.snapshots)
+            .finish()
+    }
+}
+
+impl Auditor {
+    /// An auditor with the given configuration, checking from the first
+    /// event it sees.
+    pub fn new(cfg: AuditConfig) -> Self {
+        let mcfg = MetricsConfig::default();
+        let watch = mcfg.watch.clone();
+        Auditor {
+            cfg,
+            violations: Vec::new(),
+            health: AuditHealth::default(),
+            latency: Histogram::new(DEFAULT_LATENCY_BOUNDS_US),
+            watch,
+            used: BTreeMap::new(),
+            prev: None,
+            snapshots: 0,
+            roots: HashMap::new(),
+            root_order: VecDeque::new(),
+            recent_rx: HashMap::new(),
+            metrics: Metrics::new(mcfg),
+            last_at: SimTime(0),
+            finished: false,
+        }
+    }
+
+    /// `true` while no check has fired.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations recorded so far, in detection order.
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
+    }
+
+    /// The per-run health counters.
+    pub fn health(&self) -> &AuditHealth {
+        &self.health
+    }
+
+    /// How many engine snapshots have been applied.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots
+    }
+
+    /// Check the interval since the previous snapshot against protocol
+    /// truth. `check_counts` additionally runs A3 — pass `true` only at
+    /// quiescent checkpoints (count propagation is not instantaneous), as
+    /// [`Sim::audit_checkpoint`](crate::engine::Sim::audit_checkpoint)
+    /// does; the engine's automatic post-fault refreshes pass `false`.
+    pub fn apply_snapshot(&mut self, snap: &AuditSnapshot, check_counts: bool) {
+        // A1: every data transmission since the last snapshot must sit in
+        // the union of the bracketing snapshots' allowed sets; nodes not
+        // audited at either end are exempt.
+        let used = std::mem::take(&mut self.used);
+        for ((node, link), ev) in used {
+            if !self.cfg.enabled(AuditCheck::OnTree) {
+                break;
+            }
+            let audited_now = snap.audited.contains(&node);
+            let audited_before = self.prev.as_ref().is_some_and(|(_, a)| a.contains(&node));
+            if !audited_now && !audited_before {
+                continue;
+            }
+            let allowed_now = snap.allowed.contains(&(node, link));
+            let allowed_before = self.prev.as_ref().is_some_and(|(al, _)| al.contains(&(node, link)));
+            if !allowed_now && !allowed_before {
+                let root = ev.kind.root_id();
+                let window = root
+                    .and_then(|r| self.roots.get(&r.0))
+                    .map(|s| s.window.iter().cloned().collect())
+                    .unwrap_or_default();
+                self.violations.push(AuditViolation {
+                    check: AuditCheck::OnTree,
+                    at: snap.at,
+                    root,
+                    summary: format!("off-tree data transmission: node n{} put data on link l{} which is on no audited source tree", node.0, link.0),
+                    offending: Some(ev),
+                    window,
+                });
+            }
+        }
+        if check_counts && self.cfg.enabled(AuditCheck::CountConvergence) {
+            self.check_counts(snap);
+        }
+        self.prev = Some((snap.allowed.clone(), snap.audited.clone()));
+        self.snapshots += 1;
+    }
+
+    /// A3 — count convergence at a quiescent checkpoint.
+    fn check_counts(&mut self, snap: &AuditSnapshot) {
+        let slack = self.cfg.count_slack;
+        for (chan, truth) in &snap.channels {
+            for &(node, advertised, downstream_sum) in &truth.routers {
+                if advertised.abs_diff(downstream_sum) > slack {
+                    self.violations.push(AuditViolation {
+                        check: AuditCheck::CountConvergence,
+                        at: snap.at,
+                        root: None,
+                        summary: format!(
+                            "router n{} on {chan}: advertised {advertised} ≠ validated downstream sum {downstream_sum} (slack {slack})",
+                            node.0
+                        ),
+                        offending: None,
+                        window: Vec::new(),
+                    });
+                }
+            }
+            if let Some((node, advertised)) = truth.root_advertised {
+                if advertised.abs_diff(truth.subscribers) > slack {
+                    self.violations.push(AuditViolation {
+                        check: AuditCheck::CountConvergence,
+                        at: snap.at,
+                        root: None,
+                        summary: format!(
+                            "root router n{} on {chan}: advertised {advertised} ≠ subscriber truth {} (slack {slack})",
+                            node.0, truth.subscribers
+                        ),
+                        offending: None,
+                        window: Vec::new(),
+                    });
+                }
+            }
+            if let Some((node, estimate)) = truth.source_estimate {
+                if estimate.abs_diff(truth.subscribers) > slack {
+                    self.violations.push(AuditViolation {
+                        check: AuditCheck::CountConvergence,
+                        at: snap.at,
+                        root: None,
+                        summary: format!(
+                            "source n{} on {chan}: estimate {estimate} ≠ subscriber truth {} (slack {slack})",
+                            node.0, truth.subscribers
+                        ),
+                        offending: None,
+                        window: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn root_state(&mut self, root: u64) -> &mut RootState {
+        if !self.roots.contains_key(&root) {
+            if self.roots.len() >= self.cfg.max_roots {
+                if let Some(old) = self.root_order.pop_front() {
+                    self.roots.remove(&old);
+                }
+            }
+            self.roots.insert(root, RootState::default());
+            self.root_order.push_back(root);
+        }
+        self.roots.get_mut(&root).expect("just inserted")
+    }
+
+    fn push_window(&mut self, root: u64, ev: &TraceEvent) {
+        let cap = self.cfg.window_len;
+        let s = self.root_state(root);
+        if cap == 0 {
+            return;
+        }
+        if s.window.len() >= cap {
+            s.window.pop_front();
+        }
+        s.window.push_back(ev.clone());
+    }
+
+    fn window_of(&self, root: u64) -> Vec<TraceEvent> {
+        self.roots
+            .get(&root)
+            .map(|s| s.window.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// A4 — evaluated once, when the capture is finalized.
+    fn check_recovery(&mut self) {
+        if !self.cfg.enabled(AuditCheck::RecoveryBounds) {
+            return;
+        }
+        let Some(b) = self.cfg.recovery else { return };
+        if self.metrics.deliveries().is_empty() {
+            self.violations.push(AuditViolation {
+                check: AuditCheck::RecoveryBounds,
+                at: self.last_at,
+                root: None,
+                summary: format!(
+                    "no deliveries observed in the stream window [{} µs, {} µs]",
+                    b.stream_start.micros(),
+                    b.stream_end.micros()
+                ),
+                offending: None,
+                window: Vec::new(),
+            });
+            return;
+        }
+        for (mark, change, rec) in self.metrics.reconvergence_report() {
+            match rec {
+                Some(d) if d > b.max_reconvergence => {
+                    self.violations.push(AuditViolation {
+                        check: AuditCheck::RecoveryBounds,
+                        at: mark,
+                        root: None,
+                        summary: format!(
+                            "reconvergence after {change:?} took {} µs > bound {} µs",
+                            d.micros(),
+                            b.max_reconvergence.micros()
+                        ),
+                        offending: None,
+                        window: Vec::new(),
+                    });
+                }
+                None if mark + b.max_reconvergence <= b.stream_end => {
+                    self.violations.push(AuditViolation {
+                        check: AuditCheck::RecoveryBounds,
+                        at: mark,
+                        root: None,
+                        summary: format!(
+                            "no delivery after {change:?} within bound {} µs",
+                            b.max_reconvergence.micros()
+                        ),
+                        offending: None,
+                        window: Vec::new(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        for (gap_start, gap_end) in self.metrics.delivery_gaps(b.stream_start, b.stream_end, b.max_gap) {
+            self.violations.push(AuditViolation {
+                check: AuditCheck::RecoveryBounds,
+                at: gap_start,
+                root: None,
+                summary: format!(
+                    "delivery gap [{} µs, {} µs] = {} µs > bound {} µs",
+                    gap_start.micros(),
+                    gap_end.micros(),
+                    (gap_end - gap_start).micros(),
+                    b.max_gap.micros()
+                ),
+                offending: None,
+                window: Vec::new(),
+            });
+        }
+    }
+
+    /// Render the verdict + health summary.
+    pub fn report(&self) -> AuditReport {
+        AuditReport {
+            clean: self.is_clean(),
+            snapshots: self.snapshots,
+            health: self.health,
+            latency: self.latency.clone(),
+            violations: self.violations.clone(),
+        }
+    }
+}
+
+impl TraceSink for Auditor {
+    fn on_attach(&mut self, cfg: &TraceConfig) {
+        assert!(
+            cfg.sample.is_none(),
+            "Auditor requires the unsampled event stream: sample_one_in() hides \
+             entire causal chains, so every invariant check would miss real \
+             violations. Attach the auditor to a tracer without sampling (tee a \
+             sampled capture sink beside it if a sparse capture is wanted)."
+        );
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.last_at = event.at;
+        match &event.kind {
+            TraceKind::PacketTx {
+                node, link, cause, root, class, ..
+            } => {
+                self.health.pkt_tx += 1;
+                if *class != TrafficClass::Data {
+                    return;
+                }
+                if cause.is_none() {
+                    self.health.data_roots += 1;
+                }
+                self.used.entry((*node, *link)).or_insert_with(|| event.clone());
+                // A2 loop: one causal chain may cross each (node, link)
+                // once — a second pass means the chain revisited the node.
+                let dup = !self.root_state(root.0).tx_links.insert((*node, *link));
+                if dup && self.cfg.enabled(AuditCheck::NoDupNoLoop) {
+                    let window = self.window_of(root.0);
+                    self.violations.push(AuditViolation {
+                        check: AuditCheck::NoDupNoLoop,
+                        at: event.at,
+                        root: Some(*root),
+                        summary: format!(
+                            "forwarding loop: chain {root} crossed node n{} → link l{} more than once",
+                            node.0, link.0
+                        ),
+                        offending: Some(event.clone()),
+                        window,
+                    });
+                }
+                self.push_window(root.0, &event);
+            }
+            TraceKind::PacketRx { node, root, age, class, .. } => {
+                self.health.pkt_rx += 1;
+                if *class != TrafficClass::Data {
+                    return;
+                }
+                self.latency.observe(age.micros());
+                self.recent_rx.insert(*node, (event.at, root.0));
+                self.push_window(root.0, &event);
+            }
+            TraceKind::PacketDrop { root, class, .. } => {
+                self.health.drops += 1;
+                if *class == TrafficClass::Data {
+                    self.push_window(root.0, &event);
+                }
+            }
+            TraceKind::TimerFire { .. } => self.health.timers += 1,
+            TraceKind::Topology(change) => {
+                self.health.topo += 1;
+                self.metrics.mark_fault(event.at, *change);
+            }
+            TraceKind::Proto { node, event: proto } => {
+                self.health.proto += 1;
+                if !self.watch.iter().any(|w| w == proto.name.as_ref()) {
+                    return;
+                }
+                // One watched counter bump = one delivery (the value field
+                // carries latency / delta, not a count of deliveries).
+                self.health.deliveries += 1;
+                let name = proto.name.clone().into_owned();
+                self.metrics.on_count(event.at, &name, 1);
+                // A2 dup: pair this delivery with the data arrival being
+                // dispatched (same node, same timestamp) and its chain.
+                let Some((rx_at, root)) = self.recent_rx.get(node).copied() else {
+                    return;
+                };
+                if rx_at != event.at {
+                    return;
+                }
+                self.recent_rx.remove(node);
+                let dup = !self.root_state(root).delivered.insert(*node);
+                if dup && self.cfg.enabled(AuditCheck::NoDupNoLoop) {
+                    let window = self.window_of(root);
+                    self.violations.push(AuditViolation {
+                        check: AuditCheck::NoDupNoLoop,
+                        at: event.at,
+                        root: Some(PacketId(root)),
+                        summary: format!(
+                            "duplicate delivery: receiver n{} got chain p{root} more than once",
+                            node.0
+                        ),
+                        offending: Some(event.clone()),
+                        window,
+                    });
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        if !self.finished {
+            self.finished = true;
+            self.check_recovery();
+        }
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// Recover an [`Auditor`] from a finished sink chain — the sink itself, or
+/// a child of a [`Tee`] (what
+/// [`Sim::finish_trace`](crate::engine::Sim::finish_trace) hands back when
+/// an auditor ran beside a capture sink).
+pub fn extract_auditor(sink: Box<dyn TraceSink>) -> Option<Auditor> {
+    match sink.into_any().downcast::<Auditor>() {
+        Ok(a) => Some(*a),
+        Err(any) => match any.downcast::<Tee>() {
+            Ok(tee) => tee.into_sinks().into_iter().find_map(extract_auditor),
+            Err(_) => None,
+        },
+    }
+}
+
+// ---- report rendering ----------------------------------------------------
+
+/// The rendered audit outcome: verdict, health summary, violations.
+/// Produced by [`Auditor::report`]; serialized with
+/// [`to_text`](Self::to_text) / [`to_json`](Self::to_json) (`audit/v1`).
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// `true` if no check fired.
+    pub clean: bool,
+    /// Engine snapshots applied during the run.
+    pub snapshots: u64,
+    /// Per-run event counts.
+    pub health: AuditHealth,
+    /// Data-delivery latency distribution (µs).
+    pub latency: Histogram,
+    /// Every violation, in detection order.
+    pub violations: Vec<AuditViolation>,
+}
+
+impl AuditReport {
+    /// Human-readable rendering.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let verdict = if self.clean { "CLEAN" } else { "VIOLATIONS" };
+        let _ = writeln!(
+            out,
+            "audit/v1: {verdict} — {} violation(s), checks A1–A4, {} snapshot(s), {} event(s)",
+            self.violations.len(),
+            self.snapshots,
+            self.health.events()
+        );
+        let h = &self.health;
+        let _ = writeln!(
+            out,
+            "  events: tx {} rx {} drop {} timer {} topo {} proto {}",
+            h.pkt_tx, h.pkt_rx, h.drops, h.timers, h.topo, h.proto
+        );
+        let _ = write!(out, "  data roots {} deliveries {}", h.data_roots, h.deliveries);
+        if let (Some(p50), Some(p99), Some(max)) =
+            (self.latency.quantile(0.5), self.latency.quantile(0.99), self.latency.max())
+        {
+            let _ = write!(out, "  latency p50/p99/max {p50}/{p99}/{max} µs");
+        }
+        out.push('\n');
+        for v in &self.violations {
+            let _ = write!(out, "  [{}] t={}µs", v.check, v.at.micros());
+            if let Some(r) = v.root {
+                let _ = write!(out, " root={r}");
+            }
+            let _ = writeln!(out, " {}", v.summary);
+            if let Some(ev) = &v.offending {
+                out.push_str("        offending: ");
+                write_jsonl_line(&mut out, ev);
+                out.push('\n');
+            }
+            for w in &v.window {
+                out.push_str("        | ");
+                write_jsonl_line(&mut out, w);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// `audit/v1` JSON lines: a header object, one `health` line, then one
+    /// line per violation (offending/window events in the trace JSONL v2
+    /// record shape).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"schema\":\"{AUDIT_SCHEMA}\",\"clean\":{},\"violations\":{},\"snapshots\":{}}}",
+            self.clean,
+            self.violations.len(),
+            self.snapshots
+        );
+        let h = &self.health;
+        let _ = write!(
+            out,
+            "{{\"kind\":\"health\",\"events\":{},\"pkt_tx\":{},\"pkt_rx\":{},\"drops\":{},\"timers\":{},\"topo\":{},\"proto\":{},\"data_roots\":{},\"deliveries\":{}",
+            h.events(), h.pkt_tx, h.pkt_rx, h.drops, h.timers, h.topo, h.proto, h.data_roots, h.deliveries
+        );
+        if let (Some(p50), Some(p99), Some(max)) =
+            (self.latency.quantile(0.5), self.latency.quantile(0.99), self.latency.max())
+        {
+            let _ = write!(out, ",\"latency_p50_us\":{p50},\"latency_p99_us\":{p99},\"latency_max_us\":{max}");
+        }
+        out.push_str("}\n");
+        for v in &self.violations {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"violation\",\"check\":\"{}\",\"at_us\":{}",
+                v.check,
+                v.at.micros()
+            );
+            if let Some(r) = v.root {
+                let _ = write!(out, ",\"root\":{}", r.0);
+            }
+            write_str_field(&mut out, "summary", &v.summary);
+            if let Some(ev) = &v.offending {
+                out.push_str(",\"offending\":");
+                write_jsonl_line(&mut out, ev);
+            }
+            if !v.window.is_empty() {
+                out.push_str(",\"window\":[");
+                for (i, w) in v.window.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_jsonl_line(&mut out, w);
+                }
+                out.push(']');
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::TopologyChange;
+    use crate::stats::TrafficClass;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime(x * 1_000)
+    }
+
+    fn data_tx(at: u64, id: u64, root: u64, cause: Option<u64>, node: u32, link: u32) -> TraceEvent {
+        TraceEvent {
+            at: SimTime(at),
+            kind: TraceKind::PacketTx {
+                node: NodeId(node),
+                iface: IfaceId(0),
+                link: LinkId(link),
+                id: PacketId(id),
+                cause: cause.map(PacketId),
+                root: PacketId(root),
+                bytes: 100,
+                class: TrafficClass::Data,
+            },
+        }
+    }
+
+    fn data_rx(at: u64, id: u64, root: u64, node: u32) -> TraceEvent {
+        TraceEvent {
+            at: SimTime(at),
+            kind: TraceKind::PacketRx {
+                node: NodeId(node),
+                iface: IfaceId(0),
+                id: PacketId(id),
+                root: PacketId(root),
+                age: SimDuration(at),
+                class: TrafficClass::Data,
+            },
+        }
+    }
+
+    fn delivery(at: u64, node: u32) -> TraceEvent {
+        TraceEvent {
+            at: SimTime(at),
+            kind: TraceKind::Proto {
+                node: NodeId(node),
+                event: crate::trace::ProtoEvent {
+                    name: "host.data_rx".into(),
+                    channel: None,
+                    value: Some(at),
+                    detail: None,
+                },
+            },
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsampled")]
+    fn auditor_refuses_sampled_stream() {
+        let mut a = Auditor::default();
+        a.on_attach(&TraceConfig::default().sample_one_in(1024));
+    }
+
+    #[test]
+    fn a1_fires_on_off_tree_tx_and_respects_union_and_exemption() {
+        let mut a = Auditor::default();
+        let mut snap = AuditSnapshot { at: SimTime(100), ..Default::default() };
+        snap.audited.insert(NodeId(1));
+        snap.allowed.insert((NodeId(1), LinkId(0)));
+        // On-tree tx, off-tree tx, and a tx by an unaudited node.
+        a.record(data_tx(10, 1, 1, None, 1, 0));
+        a.record(data_tx(11, 2, 2, None, 1, 5)); // off-tree
+        a.record(data_tx(12, 3, 3, None, 9, 7)); // node 9 not audited
+        a.apply_snapshot(&snap, false);
+        assert_eq!(a.violations().len(), 1);
+        let v = &a.violations()[0];
+        assert_eq!(v.check, AuditCheck::OnTree);
+        assert_eq!(v.root, Some(PacketId(2)));
+        // The next interval is judged against the union of snapshots: a tx
+        // on the link that was allowed *before* the tree changed passes.
+        let mut snap2 = AuditSnapshot { at: SimTime(200), ..Default::default() };
+        snap2.audited.insert(NodeId(1));
+        snap2.allowed.insert((NodeId(1), LinkId(2)));
+        a.record(data_tx(150, 4, 4, None, 1, 0)); // old tree, still fine
+        a.record(data_tx(160, 5, 5, None, 1, 2)); // new tree
+        a.apply_snapshot(&snap2, false);
+        assert_eq!(a.violations().len(), 1);
+        assert_eq!(a.snapshots(), 2);
+    }
+
+    #[test]
+    fn a2_fires_on_duplicate_delivery_with_window() {
+        let mut a = Auditor::new(AuditConfig::default().window_len(4));
+        a.record(data_tx(0, 1, 1, None, 0, 0));
+        a.record(data_rx(5, 1, 1, 2));
+        a.record(delivery(5, 2));
+        assert!(a.is_clean());
+        assert_eq!(a.health().deliveries, 1);
+        // A second copy of the same chain reaches the same receiver.
+        a.record(data_tx(6, 7, 1, Some(1), 3, 1));
+        a.record(data_rx(9, 7, 1, 2));
+        a.record(delivery(9, 2));
+        assert_eq!(a.violations().len(), 1);
+        let v = &a.violations()[0];
+        assert_eq!(v.check, AuditCheck::NoDupNoLoop);
+        assert_eq!(v.root, Some(PacketId(1)));
+        assert!(!v.window.is_empty(), "breach window localizes the chain");
+    }
+
+    #[test]
+    fn a2_fires_on_forwarding_loop() {
+        let mut a = Auditor::default();
+        a.record(data_tx(0, 1, 1, None, 0, 0));
+        a.record(data_tx(1, 2, 1, Some(1), 1, 1));
+        a.record(data_tx(2, 3, 1, Some(2), 1, 1)); // same (node, link), same chain
+        assert_eq!(a.violations().len(), 1);
+        assert_eq!(a.violations()[0].check, AuditCheck::NoDupNoLoop);
+        // Another chain crossing the same (node, link) is fine.
+        a.record(data_tx(3, 4, 4, None, 1, 1));
+        assert_eq!(a.violations().len(), 1);
+    }
+
+    #[test]
+    fn a2_ignores_control_traffic_and_unwatched_counters() {
+        let mut a = Auditor::default();
+        let mut ev = data_tx(0, 1, 1, None, 0, 0);
+        if let TraceKind::PacketTx { class, .. } = &mut ev.kind {
+            *class = TrafficClass::Control;
+        }
+        a.record(ev.clone());
+        a.record(ev); // control retransmission: exempt
+        let unwatched = TraceEvent {
+            at: SimTime(1),
+            kind: TraceKind::Proto {
+                node: NodeId(0),
+                event: crate::trace::ProtoEvent { name: "ecmp.count_tx".into(), channel: None, value: Some(1), detail: None },
+            },
+        };
+        a.record(unwatched);
+        assert!(a.is_clean());
+        assert_eq!(a.health().deliveries, 0);
+    }
+
+    #[test]
+    fn a3_fires_on_count_skew_within_slack() {
+        let mut a = Auditor::new(AuditConfig::default().count_slack(1));
+        let mut snap = AuditSnapshot { at: SimTime(0), ..Default::default() };
+        let truth = ChannelTruth {
+            routers: vec![(NodeId(1), 5, 5), (NodeId(2), 7, 5)], // skew 2 > slack 1
+            root_advertised: Some((NodeId(1), 5)),
+            subscribers: 5,
+            source_estimate: Some((NodeId(0), 6)), // skew 1 ≤ slack
+        };
+        snap.channels.insert("(10.0.0.1, 232.0.0.1)".to_string(), truth);
+        a.apply_snapshot(&snap, true);
+        assert_eq!(a.violations().len(), 1);
+        assert_eq!(a.violations()[0].check, AuditCheck::CountConvergence);
+        // The same snapshot without count checking stays clean.
+        let mut b = Auditor::new(AuditConfig::default().count_slack(1));
+        b.apply_snapshot(&snap, false);
+        assert!(b.is_clean());
+    }
+
+    #[test]
+    fn a4_fires_on_gaps_missing_recovery_and_silence() {
+        let bounds = RecoveryBounds {
+            max_reconvergence: SimDuration::from_millis(10),
+            max_gap: SimDuration::from_millis(50),
+            stream_start: SimTime(0),
+            stream_end: ms(200),
+        };
+        // Silence: bounds configured, no deliveries at all.
+        let mut silent = Auditor::new(AuditConfig::default().recovery_bounds(bounds));
+        silent.finish().unwrap();
+        assert_eq!(silent.violations().len(), 1);
+        assert_eq!(silent.violations()[0].check, AuditCheck::RecoveryBounds);
+
+        // A fault at 100 ms with no delivery until 150 ms: reconvergence
+        // (50 ms > 10 ms) and the gap (50 ms ≥ 50 ms bound is fine, so
+        // use a 60 ms gap) both fire.
+        let mut a = Auditor::new(AuditConfig::default().recovery_bounds(bounds));
+        for m in [10u64, 20, 30, 40, 50, 60, 70, 80, 90] {
+            a.record(data_rx(ms(m).0, m, m, 2));
+            a.record(delivery(ms(m).0, 2));
+        }
+        a.record(TraceEvent {
+            at: ms(100),
+            kind: TraceKind::Topology(TopologyChange::LinkDown(LinkId(3))),
+        });
+        a.record(data_rx(ms(160).0, 99, 99, 2));
+        a.record(delivery(ms(160).0, 2));
+        a.finish().unwrap();
+        let kinds: Vec<&str> = a.violations().iter().map(|v| v.check.id()).collect();
+        assert_eq!(kinds, vec!["A4", "A4"], "reconvergence overrun + gap: {kinds:?}");
+        // finish() is idempotent: A4 does not double-report.
+        a.finish().unwrap();
+        assert_eq!(a.violations().len(), 2);
+    }
+
+    #[test]
+    fn a4_tolerates_fault_at_stream_end() {
+        let bounds = RecoveryBounds {
+            max_reconvergence: SimDuration::from_millis(10),
+            max_gap: SimDuration::from_millis(500),
+            stream_start: SimTime(0),
+            stream_end: ms(100),
+        };
+        let mut a = Auditor::new(AuditConfig::default().recovery_bounds(bounds));
+        a.record(data_rx(ms(95).0, 1, 1, 2));
+        a.record(delivery(ms(95).0, 2));
+        // Fault right at the end of the stream: no delivery can follow, and
+        // none is required.
+        a.record(TraceEvent {
+            at: ms(99),
+            kind: TraceKind::Topology(TopologyChange::NodeDown(NodeId(5))),
+        });
+        a.finish().unwrap();
+        assert!(a.is_clean(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let mut a = Auditor::default();
+        a.record(data_tx(0, 1, 1, None, 0, 0));
+        a.record(data_rx(5, 1, 1, 2));
+        a.record(delivery(5, 2));
+        a.record(data_tx(6, 7, 1, Some(1), 3, 1));
+        a.record(data_rx(9, 7, 1, 2));
+        a.record(delivery(9, 2));
+        let report = a.report();
+        assert!(!report.clean);
+        let text = report.to_text();
+        assert!(text.contains("VIOLATIONS"), "{text}");
+        assert!(text.contains("[A2]"), "{text}");
+        let json = report.to_json();
+        let header = json.lines().next().unwrap();
+        assert!(header.contains("\"schema\":\"audit/v1\""), "{header}");
+        assert!(header.contains("\"clean\":false"), "{header}");
+        assert!(json.lines().any(|l| l.contains("\"kind\":\"health\"")), "{json}");
+        assert!(
+            json.lines().any(|l| l.contains("\"check\":\"A2\"") && l.contains("\"offending\":{")),
+            "{json}"
+        );
+        // A clean report says so.
+        let clean = Auditor::default().report();
+        assert!(clean.to_text().contains("CLEAN"));
+        assert!(clean.to_json().starts_with("{\"schema\":\"audit/v1\",\"clean\":true"));
+    }
+
+    #[test]
+    fn extract_auditor_reaches_through_tee() {
+        let mut a = Auditor::default();
+        a.record(data_tx(0, 1, 1, None, 0, 0));
+        let tee = Tee::from_sinks(vec![
+            Box::new(crate::trace::TraceBuffer::new(TraceConfig::default())),
+            Box::new(a),
+        ]);
+        let got = extract_auditor(Box::new(tee)).expect("auditor found in tee");
+        assert_eq!(got.health().pkt_tx, 1);
+        // A chain without one yields None.
+        let bare = crate::trace::TraceBuffer::new(TraceConfig::default());
+        assert!(extract_auditor(Box::new(bare)).is_none());
+    }
+
+    #[test]
+    fn root_eviction_bounds_memory() {
+        let mut a = Auditor::new(AuditConfig::default().max_roots(4));
+        for r in 0..64u64 {
+            a.record(data_tx(r, r, r, None, 0, 0));
+        }
+        assert!(a.roots.len() <= 4);
+        assert!(a.is_clean());
+    }
+}

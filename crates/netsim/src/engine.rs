@@ -68,6 +68,7 @@
 //! single-shard run; `docs/INTERNALS.md` §6 derives the safe-window math
 //! and the boundary merge order.
 
+use crate::audit::{AuditNodeState, AuditSnapshot, Auditor, ChannelTruth};
 use crate::id::{IfaceId, LinkId, NodeId};
 use crate::metrics::{Metrics, MetricsConfig};
 use crate::prof::{EventClass, ProfConfig, Profiler, WheelGauges};
@@ -77,8 +78,8 @@ use crate::stats::{CounterId, Stats, TrafficClass};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeKind, Topology};
 use crate::trace::{
-    DropReason, PacketId, ProtoEvent, TraceBuffer, TraceConfig, TraceEvent, TraceKind, TraceLevel,
-    TraceSink, Tracer,
+    DropReason, PacketId, ProtoEvent, Tee, TraceBuffer, TraceConfig, TraceEvent, TraceKind,
+    TraceLevel, TraceSink, Tracer,
 };
 use crate::wheel::{TimerWheel, WheelConfig};
 use express_wire::addr::{Channel, Ipv4Addr};
@@ -184,6 +185,16 @@ pub trait Agent: Send {
     /// never show up hot in a profile.
     fn kind_name(&self) -> &'static str {
         "agent"
+    }
+
+    /// Report this agent's protocol truth for the online auditor (see
+    /// [`crate::audit`]): routes with forwarding intent and counts,
+    /// host-side subscribe/source state. Takes `&self` on purpose — the
+    /// snapshot must be a *pure read* (no RNG draws, no sends, no state
+    /// mutation), so taking one can never perturb a deterministic run.
+    /// The default `None` exempts the node from per-node audit checks.
+    fn audit_state(&self, _topo: &Topology, _node: NodeId) -> Option<AuditNodeState> {
+        None
     }
 
     /// Data-path devirtualization hook: return
@@ -1551,6 +1562,10 @@ pub struct Sim {
     /// merged [`TraceBuffer`] in [`take_trace`](Self::take_trace).
     trace_cfg: Option<TraceConfig>,
     started: bool,
+    /// An [`Auditor`] sits in the sink chain: topology transitions trigger
+    /// an automatic snapshot refresh (A1 tree updates). One bool — audit
+    /// truly costs nothing when no auditor was attached.
+    audit_attached: bool,
     /// Links downed by a node's crash, restored at its restart.
     crash_downed_links: HashMap<NodeId, Vec<LinkId>>,
     /// Per-node factories used by [`schedule_restart`](Self::schedule_restart)
@@ -1595,6 +1610,7 @@ impl Sim {
             wheel_cfg: wheel,
             trace_cfg: None,
             started: false,
+            audit_attached: false,
             crash_downed_links: HashMap::new(),
             restart_factories: HashMap::new(),
         }
@@ -1797,10 +1813,7 @@ impl Sim {
         self.worlds[0].trace.as_ref()?;
         if self.shard_count() == 1 {
             let tracer = self.worlds[0].trace.take()?;
-            return match tracer.finish().into_any().downcast::<TraceBuffer>() {
-                Ok(buffer) => Some(*buffer),
-                Err(_) => None,
-            };
+            return sink_into_buffer(tracer.finish());
         }
         let cfg = self.trace_cfg.clone()?;
         let mut streams = Vec::with_capacity(self.worlds.len());
@@ -1824,6 +1837,132 @@ impl Sim {
             return self.worlds[0].trace.take().map(Tracer::finish);
         }
         self.take_trace().map(|b| Box::new(b) as Box<dyn TraceSink>)
+    }
+
+    /// Attach an *additional* [`TraceSink`] beside whatever capture is
+    /// active: the current sink chain is teed (see [`Tracer::add_sink`])
+    /// so every admitted event reaches both. If tracing was not enabled
+    /// yet, it starts now with [`TraceConfig::default`] into this sink.
+    /// This is how the online [`Auditor`] runs
+    /// beside a [`JsonlSink`](crate::trace::JsonlSink) or the default
+    /// ring. Single-shard only, like
+    /// [`enable_trace_sink`](Self::enable_trace_sink).
+    pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        assert_eq!(
+            self.shard_count(),
+            1,
+            "add_trace_sink requires shards=1: a streaming sink cannot be merged \
+             across shards — use enable_trace + take_trace, or keep the default shard count"
+        );
+        if sink.as_any().is::<Auditor>() {
+            self.audit_attached = true;
+        }
+        match &mut self.worlds[0].trace {
+            Some(tracer) => tracer.add_sink(sink),
+            None => {
+                let cfg = TraceConfig::default();
+                self.trace_cfg = Some(cfg.clone());
+                self.worlds[0].trace = Some(Tracer::new(cfg, sink));
+            }
+        }
+    }
+
+    /// Capture a point-in-time [`AuditSnapshot`] of protocol truth: sweep
+    /// every live agent's [`Agent::audit_state`] and resolve the reported
+    /// interface masks against the topology into `(node, link)` tree
+    /// membership plus per-channel count truth. A pure read — taking a
+    /// snapshot never perturbs the run.
+    pub fn audit_snapshot(&self) -> AuditSnapshot {
+        let topo = &self.shared.topo;
+        let mut snap = AuditSnapshot {
+            at: self.worlds[0].now,
+            ..Default::default()
+        };
+        // Router routes whose upstream link might face the channel source
+        // (resolved to the root router once all sources are known), and
+        // each channel's source host.
+        let mut upstreams: Vec<(String, NodeId, LinkId, u64)> = Vec::new();
+        let mut sources: HashMap<String, (NodeId, Option<u64>)> = HashMap::new();
+        for (idx, agent) in self.agents.iter().enumerate() {
+            if self.shared.node_down[idx] {
+                continue;
+            }
+            let node = NodeId(idx as u32);
+            let Some(state) = agent.as_deref().and_then(|a| a.audit_state(topo, node)) else {
+                continue;
+            };
+            snap.audited.insert(node);
+            for route in &state.routes {
+                let mut mask = route.oif_mask;
+                while mask != 0 {
+                    let iface = IfaceId(mask.trailing_zeros() as u8);
+                    mask &= mask - 1;
+                    if let Ok(link) = topo.link_of(node, iface) {
+                        snap.allowed.insert((node, link));
+                    }
+                }
+                let truth = snap.channels.entry(route.channel.clone()).or_default();
+                if let (Some(adv), Some(sum)) = (route.advertised, route.downstream_sum) {
+                    truth.routers.push((node, adv, sum));
+                }
+                if let (Some(up), Some(adv)) = (route.upstream_iface, route.advertised) {
+                    if let Ok(link) = topo.link_of(node, up) {
+                        upstreams.push((route.channel.clone(), node, link, adv));
+                    }
+                }
+            }
+            for chan in &state.subscribed {
+                snap.channels.entry(chan.clone()).or_default().subscribers += 1;
+            }
+            for (chan, estimate) in &state.sourcing {
+                // A source may put data on any of its links: the tree
+                // starts at its access link(s).
+                for link in topo.links_of(node) {
+                    snap.allowed.insert((node, link));
+                }
+                sources.insert(chan.clone(), (node, *estimate));
+            }
+        }
+        for (chan, node, link, adv) in upstreams {
+            let Some(&(src, _)) = sources.get(&chan) else {
+                continue;
+            };
+            if topo.link_endpoints(link).iter().any(|&(n, _)| n == src) {
+                let truth: &mut ChannelTruth = snap.channels.entry(chan).or_default();
+                truth.root_advertised = Some((node, adv));
+            }
+        }
+        for (chan, (src, estimate)) in sources {
+            if let Some(est) = estimate {
+                snap.channels.entry(chan).or_default().source_estimate = Some((src, est));
+            }
+        }
+        snap
+    }
+
+    /// Feed the attached [`Auditor`] a quiescent
+    /// checkpoint: the A1 interval check closes against a fresh
+    /// [`audit_snapshot`](Self::audit_snapshot) *and* A3 count convergence
+    /// is verified against it. Call at protocol-quiescent instants — after
+    /// joins settle, at the end of a run. No-op when no auditor is
+    /// attached.
+    pub fn audit_checkpoint(&mut self) {
+        self.audit_refresh(true);
+    }
+
+    /// Refresh the auditor's snapshot (A1 only unless `check_counts`).
+    /// Runs automatically after every topology transition so the allowed
+    /// tree tracks faults; gated on one bool when audit is off.
+    fn audit_refresh(&mut self, check_counts: bool) {
+        if !self.audit_attached {
+            return;
+        }
+        let snap = self.audit_snapshot();
+        if let Some(tracer) = self.worlds[0].trace.as_mut() {
+            if let Some(auditor) = find_auditor_mut(tracer.sink_mut()) {
+                auditor.apply_snapshot(&snap, check_counts);
+            }
+        }
     }
 
     /// Turn on time-series metrics with the given configuration (replaces
@@ -2100,6 +2239,18 @@ impl Sim {
     fn dispatch_global(&mut self, _at: SimTime, key: u128, kind: EventKind) {
         let t0 = self.worlds[0].prof.as_mut().and_then(|p| p.event_begin());
         let class = event_class(&kind);
+        let topo_transition = matches!(
+            kind,
+            EventKind::LinkChange { .. } | EventKind::NodeChange { .. }
+        );
+        if topo_transition {
+            // Snapshot the *outgoing* tree before the transition mutates
+            // it. Without this, a tree that converged mid-interval (e.g. a
+            // re-home after LinkUp) and is reverted by this very fault
+            // would appear in neither bracketing snapshot, and its
+            // perfectly legal transmissions would trip A1.
+            self.audit_refresh(false);
+        }
         let mut sub = 0u64;
         match kind {
             EventKind::LinkChange { link, up } => {
@@ -2155,6 +2306,13 @@ impl Sim {
             EventKind::Fanout(..) | EventKind::FanoutCohort(..) => {
                 unreachable!("fan-outs are shard-queued, never global")
             }
+        }
+        if topo_transition {
+            // Keep the auditor's allowed-tree view current across faults:
+            // close the A1 interval that ended with this transition
+            // (re-homing has already run). Counts are *not* checked here —
+            // the network is mid-recovery, not quiescent.
+            self.audit_refresh(false);
         }
         if let Some(p) = &mut self.worlds[0].prof {
             p.event_end(class, None, None, t0);
@@ -2453,6 +2611,32 @@ impl Sim {
             }
         }
     }
+}
+
+/// Consume a finished sink chain into its [`TraceBuffer`], looking through
+/// a [`Tee`] for the first ring child (the shape
+/// [`Sim::add_trace_sink`] builds when an auditor runs beside the ring).
+fn sink_into_buffer(sink: Box<dyn TraceSink>) -> Option<TraceBuffer> {
+    match sink.into_any().downcast::<TraceBuffer>() {
+        Ok(buffer) => Some(*buffer),
+        Err(any) => match any.downcast::<Tee>() {
+            Ok(tee) => tee.into_sinks().into_iter().find_map(sink_into_buffer),
+            Err(_) => None,
+        },
+    }
+}
+
+/// Find the live [`Auditor`] in a sink chain — the sink itself or a child
+/// of a [`Tee`].
+fn find_auditor_mut(sink: &mut dyn TraceSink) -> Option<&mut Auditor> {
+    if sink.as_any().is::<Auditor>() {
+        return sink.as_any_mut().downcast_mut::<Auditor>();
+    }
+    sink.as_any_mut()
+        .downcast_mut::<Tee>()?
+        .sinks_mut()
+        .iter_mut()
+        .find_map(|s| s.as_any_mut().downcast_mut::<Auditor>())
 }
 
 /// Stable k-way merge of per-shard tagged trace streams by head

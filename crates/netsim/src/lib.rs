@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod engine;
 pub mod faults;
 pub mod id;
@@ -48,6 +49,10 @@ pub mod trace;
 pub mod transport;
 pub mod wheel;
 
+pub use audit::{
+    extract_auditor, AuditCheck, AuditConfig, AuditNodeState, AuditReport, AuditRoute,
+    AuditSnapshot, AuditViolation, Auditor, ChannelTruth, RecoveryBounds,
+};
 pub use engine::{hot_packet_stub, Agent, Ctx, HotPacketFn, Payload, Sim, TimerToken, TopologyChange};
 pub use wheel::{TimerWheel, WheelConfig};
 pub use stats::CounterId;
@@ -59,6 +64,6 @@ pub use topology::{LinkSpec, NodeKind, Topology};
 pub use prof::{EventClass, ProfConfig, ProfReport, Profiler, WheelGauges};
 pub use shard::ShardPlan;
 pub use trace::{
-    parse_flat_json_object, JsonlSink, PacketId, PacketPath, ProtoEvent, SampleSpec, TraceBuffer,
-    TraceConfig, TraceEvent, TraceKind, TraceLevel, TraceMeta, TraceSink, Tracer,
+    parse_flat_json_object, JsonlSink, PacketId, PacketPath, ProtoEvent, SampleSpec, Tee,
+    TraceBuffer, TraceConfig, TraceEvent, TraceKind, TraceLevel, TraceMeta, TraceSink, Tracer,
 };

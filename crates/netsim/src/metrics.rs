@@ -183,6 +183,20 @@ impl Histogram {
         }
         None
     }
+
+    /// The `q`-quantile observation (`q` in `[0, 1]`), resolved to a single
+    /// value: the containing bucket's upper bound capped at the observed
+    /// [`max`](Self::max), or the max itself when the quantile lands in the
+    /// overflow bucket. `None` only if the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(match self.quantile_bound(q) {
+            Some(bound) => bound.min(self.max),
+            None => self.max,
+        })
+    }
 }
 
 /// All metric state for one run. Created by
@@ -542,6 +556,14 @@ mod tests {
         assert_eq!(h.quantile_bound(0.0), Some(10));
         assert_eq!(h.quantile_bound(1.0), None); // lands in overflow
         assert!(Histogram::new(vec![1]).quantile_bound(0.5).is_none());
+        // quantile() resolves to a value: bucket bound, capped at max, or
+        // the max itself in the overflow bucket; None only when empty.
+        assert_eq!(h.quantile(0.5), Some(100));
+        assert_eq!(h.quantile(1.0), Some(5000)); // overflow → observed max
+        assert!(Histogram::new(vec![1]).quantile(0.5).is_none());
+        let mut low = Histogram::new(vec![1000]);
+        low.observe(3);
+        assert_eq!(low.quantile(0.5), Some(3)); // bound capped at max
     }
 
     #[test]

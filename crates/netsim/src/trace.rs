@@ -935,6 +935,136 @@ impl<W: std::io::Write + Send + 'static> TraceSink for JsonlSink<W> {
     }
 }
 
+// ---- tee -----------------------------------------------------------------
+
+/// A fan-out sink: every admitted event goes to *all* child sinks, in the
+/// order they were added. This is how an online consumer (e.g.
+/// [`Auditor`](crate::audit::Auditor)) runs beside a capture sink
+/// ([`JsonlSink`], [`TraceBuffer`]) on the same stream —
+/// [`Sim::add_trace_sink`](crate::engine::Sim::add_trace_sink) builds one
+/// transparently when a second sink is attached.
+///
+/// Semantics:
+/// - [`record_tagged`](TraceSink::record_tagged) clones the event for all
+///   children but the last, which receives the original (no clone on the
+///   single-child fast path).
+/// - [`discarded`](TraceSink::discarded) is the **sum** over children: any
+///   child losing events makes the combined capture incomplete.
+/// - [`flush`](TraceSink::flush) / [`finish`](TraceSink::finish) run on
+///   *every* child even if an earlier one errors; the first error is
+///   returned.
+#[derive(Default)]
+pub struct Tee {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl Tee {
+    /// An empty tee. Children are added with [`push`](Self::push) (their
+    /// [`on_attach`](TraceSink::on_attach) is the caller's responsibility)
+    /// or arrive pre-attached via [`Tracer::add_sink`].
+    pub fn new() -> Self {
+        Tee::default()
+    }
+
+    /// A tee over `sinks`, fanning out in the given order.
+    pub fn from_sinks(sinks: Vec<Box<dyn TraceSink>>) -> Self {
+        Tee { sinks }
+    }
+
+    /// Append a child sink (events recorded before this point were not
+    /// seen by it).
+    pub fn push(&mut self, sink: Box<dyn TraceSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// The child sinks, in fan-out order.
+    pub fn sinks(&self) -> &[Box<dyn TraceSink>] {
+        &self.sinks
+    }
+
+    /// The child sinks, mutably (e.g. to downcast one mid-run).
+    pub fn sinks_mut(&mut self) -> &mut [Box<dyn TraceSink>] {
+        &mut self.sinks
+    }
+
+    /// Consume the tee into its children, in fan-out order.
+    pub fn into_sinks(self) -> Vec<Box<dyn TraceSink>> {
+        self.sinks
+    }
+}
+
+impl std::fmt::Debug for Tee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tee")
+            .field("sinks", &self.sinks.len())
+            .field("discarded", &self.discarded())
+            .finish()
+    }
+}
+
+impl TraceSink for Tee {
+    fn on_attach(&mut self, cfg: &TraceConfig) {
+        for s in &mut self.sinks {
+            s.on_attach(cfg);
+        }
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.record_tagged(event, 0, 0);
+    }
+
+    fn record_tagged(&mut self, event: TraceEvent, key: u128, sub: u64) {
+        if let Some((last, rest)) = self.sinks.split_last_mut() {
+            for s in rest {
+                s.record_tagged(event.clone(), key, sub);
+            }
+            last.record_tagged(event, key, sub);
+        }
+    }
+
+    fn discarded(&self) -> u64 {
+        self.sinks.iter().map(|s| s.discarded()).sum()
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let mut first_err = None;
+        for s in &mut self.sinks {
+            if let Err(e) = s.flush() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn finish(&mut self) -> std::io::Result<()> {
+        let mut first_err = None;
+        for s in &mut self.sinks {
+            if let Err(e) = s.finish() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
 /// The capture front-end the engine talks to: owns the [`TraceConfig`]
 /// (level / node / channel filters plus causal sampling) and forwards
 /// admitted events to its [`TraceSink`].
@@ -986,9 +1116,31 @@ impl Tracer {
         self.sink.as_mut()
     }
 
-    /// The ring buffer behind this tracer, if that is what the sink is.
+    /// Add a second (third, …) sink beside the current one: the current
+    /// sink is wrapped into a [`Tee`] (or, if it already is one, the new
+    /// sink is appended) and every event admitted from now on fans out to
+    /// all of them. The new sink's [`on_attach`](TraceSink::on_attach) runs
+    /// here; events recorded before this call are not replayed into it.
+    pub fn add_sink(&mut self, mut sink: Box<dyn TraceSink>) {
+        sink.on_attach(&self.cfg);
+        if let Some(tee) = self.sink.as_any_mut().downcast_mut::<Tee>() {
+            tee.push(sink);
+            return;
+        }
+        let current = std::mem::replace(&mut self.sink, Box::new(Tee::new()));
+        self.sink = Box::new(Tee::from_sinks(vec![current, sink]));
+    }
+
+    /// The ring buffer behind this tracer, if the sink is one — looking
+    /// through a [`Tee`] for the first buffer child if necessary.
     pub fn buffer(&self) -> Option<&TraceBuffer> {
-        self.sink.as_any().downcast_ref::<TraceBuffer>()
+        if let Some(buf) = self.sink.as_any().downcast_ref::<TraceBuffer>() {
+            return Some(buf);
+        }
+        self.sink
+            .as_any()
+            .downcast_ref::<Tee>()
+            .and_then(|tee| tee.sinks().iter().find_map(|s| s.as_any().downcast_ref::<TraceBuffer>()))
     }
 
     /// Finalize the capture ([`TraceSink::finish`]) and hand the sink back.
@@ -1089,7 +1241,7 @@ impl TraceMeta {
     }
 }
 
-fn write_str_field(out: &mut String, key: &str, val: &str) {
+pub(crate) fn write_str_field(out: &mut String, key: &str, val: &str) {
     let _ = write!(out, ",\"{key}\":\"");
     for ch in val.chars() {
         match ch {
@@ -1112,7 +1264,7 @@ fn class_str(class: TrafficClass) -> &'static str {
     }
 }
 
-fn write_jsonl_line(out: &mut String, e: &TraceEvent) {
+pub(crate) fn write_jsonl_line(out: &mut String, e: &TraceEvent) {
     let t = e.at.micros();
     match &e.kind {
         TraceKind::PacketTx {
@@ -1639,5 +1791,145 @@ mod tests {
             }
             _ => panic!("wrong kind"),
         }
+    }
+
+    #[test]
+    fn tagged_records_round_trip_with_tags_and_jsonl() {
+        // record_tagged through the sink interface keeps tags in lockstep,
+        // into_tagged / from_tagged preserve them, and the JSONL v2 export
+        // of the rebuilt buffer round-trips the events themselves.
+        let mut b = TraceBuffer::new(TraceConfig::default());
+        let evs = [
+            (TraceEvent { at: SimTime(1), kind: tx(1, 1, None, 0, 0) }, 7u128, 0u64),
+            (TraceEvent { at: SimTime(2), kind: rx(1, 1, 1) }, 7, 1),
+            (TraceEvent { at: SimTime(3), kind: drop_kind(2, 1, 1) }, 9, 0),
+        ];
+        for (e, k, s) in &evs {
+            TraceSink::record_tagged(&mut b, e.clone(), *k, *s);
+        }
+        let (triples, overwritten) = b.into_tagged();
+        assert_eq!(overwritten, 0);
+        assert_eq!(triples.len(), 3);
+        for ((e, k, s), (oe, ok, os)) in triples.iter().zip(&evs) {
+            assert_eq!((e, k, s), (oe, ok, os));
+        }
+        let rebuilt = TraceBuffer::from_tagged(TraceConfig::default(), triples, 0);
+        let text = rebuilt.to_jsonl();
+        let parsed = TraceBuffer::parse_jsonl(&text);
+        let original: Vec<TraceEvent> = evs.iter().map(|(e, _, _)| e.clone()).collect();
+        assert_eq!(parsed, original);
+        // Capacity applies on rebuild, with dropped events counted.
+        let (triples, _) = rebuilt.into_tagged();
+        let capped = TraceBuffer::from_tagged(TraceConfig::default().capacity(2), triples, 1);
+        assert_eq!(capped.len(), 2);
+        assert_eq!(capped.overwritten(), 2); // 1 carried in + 1 capacity drop
+    }
+
+    #[test]
+    fn tee_fans_out_in_order_and_sums_discarded() {
+        let cfg = TraceConfig::default();
+        let mut tee = Tee::from_sinks(vec![
+            Box::new(TraceBuffer::new(cfg.clone().capacity(2))), // overwrites
+            Box::new(TraceBuffer::new(cfg.clone())),
+        ]);
+        tee.on_attach(&cfg);
+        for i in 0..5u64 {
+            tee.record_tagged(
+                TraceEvent { at: SimTime(i), kind: TraceKind::TimerFire { node: NodeId(0), token: i } },
+                11,
+                i,
+            );
+        }
+        // Both children saw every event, in emission order.
+        let small = tee.sinks()[0].as_any().downcast_ref::<TraceBuffer>().unwrap();
+        let full = tee.sinks()[1].as_any().downcast_ref::<TraceBuffer>().unwrap();
+        assert_eq!(small.len(), 2);
+        assert_eq!(full.len(), 5);
+        let tokens: Vec<u64> = full
+            .events()
+            .map(|e| match e.kind {
+                TraceKind::TimerFire { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tokens, vec![0, 1, 2, 3, 4]);
+        // discarded is the sum over children (3 ring overwrites + 0).
+        assert_eq!(tee.discarded(), 3);
+    }
+
+    #[test]
+    fn tee_finish_reaches_every_child_and_returns_first_error() {
+        struct Probe {
+            finishes: std::sync::Arc<std::sync::atomic::AtomicU32>,
+            fail: bool,
+        }
+        impl TraceSink for Probe {
+            fn record(&mut self, _event: TraceEvent) {}
+            fn finish(&mut self) -> std::io::Result<()> {
+                self.finishes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if self.fail {
+                    Err(std::io::Error::other("probe failure"))
+                } else {
+                    Ok(())
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
+        }
+        let count = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let mut tee = Tee::from_sinks(vec![
+            Box::new(Probe { finishes: count.clone(), fail: true }),
+            Box::new(Probe { finishes: count.clone(), fail: false }),
+            Box::new(Probe { finishes: count.clone(), fail: true }),
+        ]);
+        let err = tee.finish().expect_err("first child error surfaces");
+        assert_eq!(err.to_string(), "probe failure");
+        // The error did not short-circuit: all three children finalized.
+        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn tracer_add_sink_tees_capture_and_keeps_buffer_access() {
+        let mut tr = Tracer::ring(TraceConfig::default());
+        tr.push(SimTime(0), tx(1, 1, None, 0, 0), 0, 0);
+        // Attach a streaming sink mid-run; only later events reach it.
+        tr.add_sink(Box::new(JsonlSink::new(Vec::new())));
+        tr.push(SimTime(1), rx(1, 1, 1), 0, 1);
+        // buffer() still finds the ring through the tee.
+        let buf = tr.buffer().expect("ring reachable through tee");
+        assert_eq!(buf.len(), 2);
+        // A third sink appends to the existing tee rather than re-nesting.
+        tr.add_sink(Box::new(TraceBuffer::new(TraceConfig::default())));
+        tr.push(SimTime(2), drop_kind(2, 1, 1), 0, 2);
+        let tee = tr.finish().into_any().downcast::<Tee>().expect("sink is a tee");
+        let sinks = tee.into_sinks();
+        assert_eq!(sinks.len(), 3);
+        let mut jsonl_events = None;
+        let mut ring_lens = Vec::new();
+        for s in sinks {
+            let s = s.into_any();
+            match s.downcast::<JsonlSink<Vec<u8>>>() {
+                Ok(j) => {
+                    let text = String::from_utf8(j.into_inner()).unwrap();
+                    jsonl_events = Some(TraceBuffer::parse_jsonl(&text).len());
+                }
+                Err(s) => {
+                    let b = s.downcast::<TraceBuffer>().expect("ring child");
+                    ring_lens.push(b.len());
+                }
+            }
+        }
+        // JsonlSink saw the rx + drop; the original ring saw all three; the
+        // late ring saw only the drop.
+        assert_eq!(jsonl_events, Some(2));
+        ring_lens.sort_unstable();
+        assert_eq!(ring_lens, vec![1, 3]);
     }
 }

@@ -1,0 +1,359 @@
+//! The online auditor, end to end: every check family (A1–A4) has both a
+//! passing path and a firing path here.
+//!
+//! * Passing: the golden fault-storm scenario (the determinism pin's
+//!   recipe) replayed with an auditor attached must come back clean.
+//! * Firing: a deliberately corrupted `EcmpRouter` FIB trips A1, a
+//!   duplicating forwarder trips both halves of A2, a skewed advertised
+//!   count trips A3, and a mis-pruning DVMRP variant trips A4.
+//!
+//! Together with the negative runs, the suite proves the auditor's checks
+//! are live — a checker that can never fire verifies nothing.
+
+use express::host::{ExpressHost, HostAction};
+use express::router::{EcmpRouter, RouterConfig};
+use express_wire::addr::Channel;
+use express_wire::ecmp::CountId;
+use express_wire::fib::FibEntry;
+use mcast_baselines::dvmrp::DvmrpRouter;
+use mcast_baselines::igmp::{GroupHost, GroupHostAction, IgmpVersion};
+use netsim::faults::FaultPlan;
+use netsim::stats::TrafficClass;
+use netsim::time::{SimDuration, SimTime};
+use netsim::topogen;
+use netsim::topology::LinkSpec;
+use netsim::{
+    extract_auditor, Agent, AuditCheck, AuditConfig, Auditor, Ctx, IfaceId, LinkId, NodeId,
+    Payload, RecoveryBounds, Sim, Topology, TraceConfig,
+};
+use std::any::Any;
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime(ms * 1000)
+}
+
+/// Finalize the capture and pull the auditor back out.
+fn finish_audit(sim: &mut Sim) -> Auditor {
+    extract_auditor(sim.finish_trace().expect("trace enabled")).expect("auditor attached")
+}
+
+// ---- passing path: the golden fault-storm recipe, audited ---------------
+
+/// The determinism pin's fault-storm scenario (same topology, same seed,
+/// same fault plan — see `determinism_golden.rs`) with an auditor riding
+/// beside the trace ring: every check that can run online must pass.
+#[test]
+fn golden_fault_storm_replays_audit_clean() {
+    let g = topogen::random_connected(30, 10, 40, LinkSpec::default(), 77);
+    let mut sim = Sim::new(g.topo.clone(), 4242);
+    let cfg = RouterConfig::default();
+    for &r in &g.routers {
+        sim.set_agent(r, Box::new(EcmpRouter::new(cfg)));
+        sim.set_restart_factory(r, Box::new(move || Box::new(EcmpRouter::new(cfg))));
+    }
+    for &h in &g.hosts {
+        sim.set_agent(h, Box::new(ExpressHost::new()));
+    }
+    let chan = Channel::new(g.topo.ip(g.hosts[0]), 1).unwrap();
+    for (i, &h) in g.hosts[1..17].iter().enumerate() {
+        ExpressHost::schedule(
+            &mut sim,
+            h,
+            at_ms(1 + 30 * i as u64),
+            HostAction::Subscribe { channel: chan, key: None },
+        );
+    }
+    let mut t = 100;
+    while t <= 2_400 {
+        ExpressHost::schedule(&mut sim, g.hosts[0], at_ms(t), HostAction::SendData { channel: chan, payload_len: 100 });
+        t += 20;
+    }
+    // Bare EXPRESS only signals 0↔nonzero subscriber transitions upstream
+    // (§3.2); exact counts converge only when a counting round runs. Issue
+    // a source CountQuery after the storm — subscriberId replies refresh
+    // tree state at every hop, so one round converges the whole chain
+    // before the A3 checkpoint.
+    ExpressHost::schedule(
+        &mut sim,
+        g.hosts[0],
+        at_ms(4_000),
+        HostAction::CountQuery {
+            channel: chan,
+            count_id: CountId::SUBSCRIBERS,
+            timeout: SimDuration::from_millis(500),
+        },
+    );
+    FaultPlan::new()
+        .link_flap(LinkId(3), at_ms(600), at_ms(900))
+        .link_flap(LinkId(7), at_ms(750), at_ms(1_100))
+        .crash_restart(g.routers[5], at_ms(1_000), at_ms(1_400))
+        .loss_burst(LinkId(11), at_ms(1_800), 0.3, SimDuration::from_millis(200))
+        .apply(&mut sim);
+
+    sim.enable_trace(TraceConfig::default());
+    sim.add_trace_sink(Box::new(Auditor::default()));
+    sim.run_until(at_ms(2_600));
+    // Settle past the last fault plus one proactive τ before the counting
+    // checkpoint: A3 is a quiescence check, not a mid-storm one.
+    sim.run_until(at_ms(5_000));
+    sim.audit_checkpoint();
+
+    let auditor = finish_audit(&mut sim);
+    let report = auditor.report();
+    assert!(
+        report.clean,
+        "golden fault storm must be audit-clean, got:\n{}",
+        report.to_text()
+    );
+    assert!(report.health.data_roots > 0, "storm should carry data");
+    assert!(report.snapshots > 0, "checkpoints + fault refreshes should snapshot");
+}
+
+// ---- shared EXPRESS fixture for the negative runs -----------------------
+
+/// src — r0 — r1 — rcv, plus a bystander host `b` on r1's third
+/// interface: the off-tree destination the corrupted FIB leaks to.
+struct Line {
+    sim: Sim,
+    r0: NodeId,
+    r1: NodeId,
+    src: NodeId,
+    rcv: NodeId,
+    chan: Channel,
+}
+
+fn express_line() -> Line {
+    let mut t = Topology::new();
+    let r0 = t.add_router();
+    let r1 = t.add_router();
+    t.connect(r0, r1, LinkSpec::default()).unwrap();
+    let src = t.add_host();
+    t.connect(src, r0, LinkSpec::default()).unwrap();
+    let rcv = t.add_host();
+    t.connect(rcv, r1, LinkSpec::default()).unwrap();
+    let b = t.add_host();
+    t.connect(b, r1, LinkSpec::default()).unwrap();
+    let mut sim = Sim::new(t, 11);
+    for r in [r0, r1] {
+        sim.set_agent(r, Box::new(EcmpRouter::new(RouterConfig::default())));
+    }
+    for h in [src, rcv, b] {
+        sim.set_agent(h, Box::new(ExpressHost::new()));
+    }
+    let chan = Channel::new(sim.topology().ip(src), 1).unwrap();
+    ExpressHost::schedule(&mut sim, rcv, at_ms(1), HostAction::Subscribe { channel: chan, key: None });
+    Line { sim, r0, r1, src, rcv, chan }
+}
+
+fn stream(sim: &mut Sim, src: NodeId, chan: Channel, from_ms: u64, to_ms: u64) {
+    let mut t = from_ms;
+    while t <= to_ms {
+        ExpressHost::schedule(sim, src, at_ms(t), HostAction::SendData { channel: chan, payload_len: 64 });
+        t += 20;
+    }
+}
+
+// ---- A1 firing path -----------------------------------------------------
+
+/// Corrupting r1's FIB with an extra outgoing interface (toward the
+/// bystander) diverges the data path from the router's own channel truth;
+/// the next checkpoint must flag the off-tree transmissions.
+#[test]
+fn corrupted_fib_trips_on_tree_check() {
+    let mut l = express_line();
+    l.sim.add_trace_sink(Box::new(Auditor::default()));
+    stream(&mut l.sim, l.src, l.chan, 500, 580);
+    // The healthy tree passes this checkpoint; only post-corruption
+    // intervals may produce violations below.
+    l.sim.run_until(at_ms(700));
+    l.sim.audit_checkpoint();
+
+    // r1's interfaces: 0 = toward r0 (RPF), 1 = rcv, 2 = bystander. The
+    // corrupt entry forwards to both hosts; channel soft state (and so
+    // `audit_state` truth) still says only the subscriber's interface.
+    let entry = FibEntry::new(l.chan, 0, 0b110).unwrap();
+    l.sim
+        .agent_as::<EcmpRouter>(l.r1)
+        .expect("r1 is an EcmpRouter")
+        .install_static_route(entry);
+    stream(&mut l.sim, l.src, l.chan, 800, 880);
+    l.sim.run_until(at_ms(1_000));
+    l.sim.audit_checkpoint();
+
+    let auditor = finish_audit(&mut l.sim);
+    let a1: Vec<_> = auditor
+        .violations()
+        .iter()
+        .filter(|v| v.check == AuditCheck::OnTree)
+        .collect();
+    assert!(!a1.is_empty(), "corrupted FIB must trip A1: {:?}", auditor.report().to_text());
+    let v = a1[0];
+    assert!(v.summary.contains(&format!("n{}", l.r1.0)), "breach localized to r1: {}", v.summary);
+    assert!(v.offending.is_some(), "A1 carries the offending event");
+    assert!(!v.window.is_empty(), "A1 carries the causal window");
+}
+
+// ---- A3 firing path -----------------------------------------------------
+
+/// Skewing r0's advertised count away from its validated downstream sum
+/// must trip count convergence at the next quiescent checkpoint.
+#[test]
+fn skewed_advertised_count_trips_count_convergence() {
+    let mut l = express_line();
+    l.sim.add_trace_sink(Box::new(Auditor::default()));
+    l.sim.run_until(at_ms(400));
+    l.sim.audit_checkpoint();
+    {
+        let r0 = l.sim.agent_as::<EcmpRouter>(l.r0).expect("r0 is an EcmpRouter");
+        r0.skew_advertised_for_audit_test(l.chan, 5);
+    }
+    l.sim.run_until(at_ms(500));
+    l.sim.audit_checkpoint();
+    let auditor = finish_audit(&mut l.sim);
+    assert!(
+        auditor.violations().iter().any(|v| v.check == AuditCheck::CountConvergence),
+        "skewed advertised count must trip A3: {}",
+        auditor.report().to_text()
+    );
+    let _ = l.rcv;
+}
+
+// ---- A2 firing path -----------------------------------------------------
+
+/// A forwarder that transmits every data frame twice on the same link:
+/// the same causal chain crosses one `(node, link)` twice (loop half) and
+/// the receiver counts two deliveries of one chain (dup half).
+struct DupForwarder;
+
+impl Agent for DupForwarder {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, iface: IfaceId, bytes: &Payload, class: TrafficClass) {
+        if class != TrafficClass::Data || iface != IfaceId(0) {
+            return;
+        }
+        for _ in 0..2 {
+            ctx.send(IfaceId(1), bytes, TrafficClass::Data, netsim::engine::Reliability::Datagram, netsim::engine::Tx::AllOnLink);
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Source: one data frame per timer fire.
+struct PulseSource;
+
+impl Agent for PulseSource {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        ctx.send(IfaceId(0), &[0u8; 32], TrafficClass::Data, netsim::engine::Reliability::Datagram, netsim::engine::Tx::AllOnLink);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Receiver: one watched-counter bump per arriving data frame.
+struct CountingSink;
+
+impl Agent for CountingSink {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _iface: IfaceId, _bytes: &Payload, class: TrafficClass) {
+        if class == TrafficClass::Data {
+            ctx.count("host.data_rx", 1);
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn duplicating_forwarder_trips_no_dup_no_loop() {
+    let mut t = Topology::new();
+    let fwd = t.add_router();
+    let src = t.add_host();
+    t.connect(fwd, src, LinkSpec::default()).unwrap();
+    let rcv = t.add_host();
+    t.connect(fwd, rcv, LinkSpec::default()).unwrap();
+    let mut sim = Sim::new(t, 3);
+    sim.set_agent(fwd, Box::new(DupForwarder));
+    sim.set_agent(src, Box::new(PulseSource));
+    sim.set_agent(rcv, Box::new(CountingSink));
+    sim.add_trace_sink(Box::new(Auditor::default()));
+    sim.schedule_timer_at(src, at_ms(10), 1);
+    sim.run_until(at_ms(100));
+
+    let auditor = finish_audit(&mut sim);
+    let summaries: Vec<&str> = auditor
+        .violations()
+        .iter()
+        .filter(|v| v.check == AuditCheck::NoDupNoLoop)
+        .map(|v| v.summary.as_str())
+        .collect();
+    assert!(
+        summaries.iter().any(|s| s.contains("forwarding loop")),
+        "double-send on one link must trip the loop half: {summaries:?}"
+    );
+    assert!(
+        summaries.iter().any(|s| s.contains("duplicate delivery")),
+        "two deliveries of one chain must trip the dup half: {summaries:?}"
+    );
+}
+
+// ---- A4 firing path -----------------------------------------------------
+
+/// A DVMRP router that ignores local membership never delivers to the
+/// joined member; with recovery bounds configured the auditor must flag
+/// the silent stream.
+#[test]
+fn mis_pruning_dvmrp_trips_recovery_bounds() {
+    let mut t = Topology::new();
+    let r = t.add_router();
+    let src = t.add_host();
+    t.connect(src, r, LinkSpec::default()).unwrap();
+    let member = t.add_host();
+    t.connect(member, r, LinkSpec::default()).unwrap();
+    let mut sim = Sim::new(t, 9);
+    let mut router = DvmrpRouter::new();
+    router.set_mis_pruning_for_audit_test(true);
+    sim.set_agent(r, Box::new(router));
+    sim.set_agent(src, Box::new(GroupHost::new(IgmpVersion::V2)));
+    sim.set_agent(member, Box::new(GroupHost::new(IgmpVersion::V2)));
+    let group = express_wire::addr::Ipv4Addr::new(224, 5, 5, 5);
+    GroupHost::schedule(&mut sim, member, at_ms(1), GroupHostAction::Join { group, sources: vec![] });
+    let mut t_ms = 100;
+    while t_ms <= 900 {
+        GroupHost::schedule(&mut sim, src, at_ms(t_ms), GroupHostAction::SendData { group, payload_len: 64 });
+        t_ms += 20;
+    }
+    sim.add_trace_sink(Box::new(Auditor::new(AuditConfig::default().recovery_bounds(
+        RecoveryBounds {
+            max_reconvergence: SimDuration::from_millis(200),
+            max_gap: SimDuration::from_millis(200),
+            stream_start: at_ms(100),
+            stream_end: at_ms(900),
+        },
+    ))));
+    sim.run_until(at_ms(1_000));
+
+    let auditor = finish_audit(&mut sim);
+    assert!(
+        auditor.violations().iter().any(|v| v.check == AuditCheck::RecoveryBounds),
+        "mis-pruning DVMRP must trip A4: {}",
+        auditor.report().to_text()
+    );
+}
+
+// ---- sampling refusal ---------------------------------------------------
+
+/// The auditor must refuse (loudly, at attach time) to run on a causally
+/// sampled stream: verdicts from a partial stream would be garbage.
+#[test]
+#[should_panic(expected = "sample")]
+fn auditor_refuses_sampled_capture() {
+    let mut t = Topology::new();
+    let r = t.add_router();
+    let h = t.add_host();
+    t.connect(h, r, LinkSpec::default()).unwrap();
+    let mut sim = Sim::new(t, 1);
+    sim.enable_trace(TraceConfig::default().sample_one_in(8));
+    sim.add_trace_sink(Box::new(Auditor::default()));
+}
